@@ -1,0 +1,72 @@
+// §4.2 battery-life projections: "the battery of the Logitech Circle 2
+// and Blink XT2 security cameras are expected to drain in about 6.7 and
+// 16.7 hours" under a 900 pps attack.
+//
+// Measures the attack power on the simulated ESP8266 victim, then runs
+// the paper's arithmetic against both camera batteries — and contrasts
+// it with their advertised unattacked lifetimes.
+#include "bench_util.h"
+#include "core/battery_attack.h"
+#include "scenario/device_profiles.h"
+#include "sim/network.h"
+
+using namespace politewifi;
+
+int main() {
+  bench::header("Battery life", "camera drain projections under attack");
+
+  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 42});
+  mac::ApConfig apc;
+  apc.fast_keys = true;
+  sim.add_ap("home-ap", {0xf2, 0x6e, 0x0b, 0x01, 0x02, 0x03}, {0, 0}, apc);
+  mac::ClientConfig cc;
+  cc.fast_keys = true;
+  cc.power_save = true;
+  cc.idle_timeout = milliseconds(100);
+  cc.beacon_wake_window = milliseconds(1);
+  sim::Device& victim = sim.add_client(
+      "esp8266", {0x24, 0x0a, 0xc4, 0x01, 0x02, 0x03}, {4, 0}, cc);
+  sim::RadioConfig rig;
+  rig.position = {8, 2};
+  sim::Device& attacker = sim.add_device(
+      {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
+      {0x02, 0xde, 0xad, 0xbe, 0xef, 0x04}, rig);
+  sim.establish(victim, seconds(10));
+
+  core::BatteryDrainAttack attack(sim, attacker, victim);
+  const auto idle = attack.run(0.0, seconds(3), seconds(20));
+  const auto attacked = attack.run(900.0, seconds(3), seconds(20));
+
+  bench::section("measured victim power");
+  bench::kvf("unattacked (mW)", "%.1f", idle.avg_power_mw);
+  bench::kvf("under 900 pps attack (mW)", "%.1f", attacked.avg_power_mw);
+
+  bench::section("projections (paper's arithmetic on measured power)");
+  std::printf("  %-22s %-12s %-18s %-16s %-16s\n", "Camera", "Battery",
+              "Advertised life", "Paper (hours)", "Measured (hours)");
+  struct Case {
+    scenario::CameraSpec spec;
+    double paper_hours;
+  };
+  const Case cases[] = {{scenario::logitech_circle2(), 6.7},
+                        {scenario::blink_xt2(), 16.7}};
+  bool ok = true;
+  for (const auto& c : cases) {
+    const auto proj = core::project_drain(c.spec.name, c.spec.battery_mwh,
+                                          attacked.avg_power_mw);
+    std::printf("  %-22s %-12.0f %-18s %-16.1f %-16.1f\n",
+                c.spec.name.c_str(), c.spec.battery_mwh,
+                c.spec.advertised_life.c_str(), c.paper_hours,
+                proj.hours_to_empty);
+    // Shape check: within ~25% of the paper's projection.
+    ok = ok && std::abs(proj.hours_to_empty - c.paper_hours) <
+                   0.25 * c.paper_hours;
+  }
+
+  bench::section("summary");
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.0fx", attacked.avg_power_mw /
+                                              std::max(idle.avg_power_mw, 1e-9));
+  bench::compare("power increase at 900 pps", "35x", buf);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper and
+// prints paper-vs-measured rows. They are runnable standalone:
+//   for b in build/bench/*; do $b; done
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace politewifi::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Reads a scale override from the environment (PW_SCALE), used by the
+/// expensive benches to allow quick runs: PW_SCALE=0.05 bench_table2...
+inline double env_scale(double default_scale) {
+  if (const char* s = std::getenv("PW_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return default_scale;
+}
+
+inline void kv(const char* key, const std::string& value) {
+  std::printf("  %-44s %s\n", key, value.c_str());
+}
+
+inline void kvf(const char* key, const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  kv(key, buf);
+}
+
+/// Paper-vs-measured comparison row.
+inline void compare(const char* what, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-36s paper: %-18s measured: %s\n", what, paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace politewifi::bench

@@ -1,0 +1,19 @@
+#include "common/byte_buffer.h"
+
+#include <cstdio>
+
+namespace politewifi {
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char b[4];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(b, sizeof b, i + 1 == data.size() ? "%02x" : "%02x ",
+                  data[i]);
+    out += b;
+  }
+  return out;
+}
+
+}  // namespace politewifi

@@ -1,0 +1,28 @@
+// IEEE 802.3/802.11 CRC-32 — the Frame Check Sequence (FCS).
+//
+// Every simulated MPDU carries a real FCS computed with this code, and the
+// receive path verifies it exactly as hardware does: an FCS failure means
+// the frame is silently dropped and, crucially for this paper, *not*
+// acknowledged. The whole Polite WiFi behaviour hinges on "FCS pass" being
+// the only check that gates the ACK.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace politewifi {
+
+/// Reflected CRC-32 with polynomial 0x04C11DB7 (IEEE), init 0xFFFFFFFF,
+/// final XOR 0xFFFFFFFF — identical to the 802.11 FCS.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental variant for streaming use: feed `crc32_update` chunks
+/// starting from crc32_init(), then finish with crc32_final().
+constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace politewifi

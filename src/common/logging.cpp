@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace politewifi {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { reset_sink(); }
+
+void Logger::reset_sink() {
+  sink_ = [](LogLevel level, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), msg.c_str());
+  };
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (sink_) sink_(level, message);
+}
+
+namespace detail {
+
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+
+std::string format_time(TimePoint t) {
+  const double s = to_seconds(t.time_since_epoch());
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6fs", s);
+  return buf;
+}
+
+}  // namespace politewifi

@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging is opt-in and goes through a
+// single global sink. Examples set Debug to watch frame exchanges;
+// benchmarks leave it at Warn so output stays parseable.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace politewifi {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logging configuration. Not thread-safe by design: the
+/// simulator is single-threaded (discrete-event), and the wardriving
+/// "threads" of the paper are modeled as event-driven stages.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the default stderr sink (tests capture output this way).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void reset_sink();
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+namespace detail {
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define PW_LOG(level, ...)                                             \
+  do {                                                                 \
+    if (::politewifi::Logger::instance().enabled(level)) {             \
+      ::politewifi::Logger::instance().log(                            \
+          level, ::politewifi::detail::format_log(__VA_ARGS__));       \
+    }                                                                  \
+  } while (0)
+
+#define PW_TRACE(...) PW_LOG(::politewifi::LogLevel::Trace, __VA_ARGS__)
+#define PW_DEBUG(...) PW_LOG(::politewifi::LogLevel::Debug, __VA_ARGS__)
+#define PW_INFO(...) PW_LOG(::politewifi::LogLevel::Info, __VA_ARGS__)
+#define PW_WARN(...) PW_LOG(::politewifi::LogLevel::Warn, __VA_ARGS__)
+#define PW_ERROR(...) PW_LOG(::politewifi::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace politewifi

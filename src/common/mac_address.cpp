@@ -1,0 +1,44 @@
+#include "common/mac_address.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace politewifi {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx" (17 chars, ':' or '-' separators).
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, kSize> octets{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    const std::size_t base = i * 3;
+    const int hi = hex_value(text[base]);
+    const int lo = hex_value(text[base + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    if (i + 1 < kSize) {
+      const char sep = text[base + 2];
+      if (sep != ':' && sep != '-') return std::nullopt;
+    }
+  }
+  return MacAddress{octets};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace politewifi

@@ -1,0 +1,117 @@
+// IEEE 802 MAC (EUI-48) address value type.
+//
+// Every frame in the simulator is addressed with MacAddress. The type is a
+// trivially copyable 6-byte value with strict total ordering so it can key
+// maps and sets (target lists, duplicate caches, vendor tallies).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace politewifi {
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// The first three octets are the OUI (Organizationally Unique Identifier)
+/// which identifies the vendor; `politewifi::core::OuiDatabase` maps OUIs
+/// back to vendor names when building the Table-2 style survey reports.
+class MacAddress {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  /// All-zero address.
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(const std::array<std::uint8_t, kSize>& octets)
+      : octets_(octets) {}
+
+  constexpr MacAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d, std::uint8_t e, std::uint8_t f)
+      : octets_{a, b, c, d, e, f} {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive, ':' or '-' separators).
+  /// Returns nullopt on malformed input.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return MacAddress{0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  }
+
+  /// The attacker's spoofed source address used throughout the paper
+  /// (Figures 2 and 3): aa:bb:bb:bb:bb:bb.
+  static constexpr MacAddress paper_fake_address() {
+    return MacAddress{0xaa, 0xbb, 0xbb, 0xbb, 0xbb, 0xbb};
+  }
+
+  constexpr const std::array<std::uint8_t, kSize>& octets() const {
+    return octets_;
+  }
+
+  constexpr std::uint8_t operator[](std::size_t i) const { return octets_[i]; }
+
+  /// The 24-bit OUI in host order, e.g. 0x3c22fb for Apple.
+  constexpr std::uint32_t oui() const {
+    return (std::uint32_t{octets_[0]} << 16) | (std::uint32_t{octets_[1]} << 8) |
+           std::uint32_t{octets_[2]};
+  }
+
+  /// Locally-administered bit (bit 1 of the first octet). Randomized MACs
+  /// (modern phones while unassociated) set this; such devices have no
+  /// meaningful OUI vendor.
+  constexpr bool locally_administered() const {
+    return (octets_[0] & 0x02) != 0;
+  }
+
+  /// Group bit (bit 0 of the first octet); set for broadcast/multicast.
+  constexpr bool is_group() const { return (octets_[0] & 0x01) != 0; }
+
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+
+  constexpr bool is_zero() const {
+    for (auto o : octets_)
+      if (o != 0) return false;
+    return true;
+  }
+
+  /// Packs the address into the low 48 bits of a u64 (big-endian octet
+  /// order) — handy for hashing and compact storage.
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    return MacAddress{static_cast<std::uint8_t>(v >> 40),
+                      static_cast<std::uint8_t>(v >> 32),
+                      static_cast<std::uint8_t>(v >> 24),
+                      static_cast<std::uint8_t>(v >> 16),
+                      static_cast<std::uint8_t>(v >> 8),
+                      static_cast<std::uint8_t>(v)};
+  }
+
+  /// "aa:bb:cc:dd:ee:ff" (lower-case hex).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> octets_{};
+};
+
+}  // namespace politewifi
+
+template <>
+struct std::hash<politewifi::MacAddress> {
+  std::size_t operator()(const politewifi::MacAddress& m) const noexcept {
+    // Fibonacci hashing over the packed 48-bit value.
+    return static_cast<std::size_t>(m.to_u64() * 0x9e3779b97f4a7c15ULL);
+  }
+};

@@ -1,0 +1,4 @@
+#include "common/rng.h"
+
+// Header-only today; the TU anchors the library and keeps the option of
+// moving distribution code out of line without touching users.

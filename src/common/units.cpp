@@ -1,0 +1,3 @@
+#include "common/units.h"
+
+// Header-only; TU anchors the library.

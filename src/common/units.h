@@ -1,0 +1,51 @@
+// RF power and unit conversions.
+//
+// The propagation and energy models mix logarithmic (dBm, dB) and linear
+// (mW, W) quantities; these helpers keep the conversions in one place.
+#pragma once
+
+#include <cmath>
+
+namespace politewifi {
+
+/// dBm -> milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// milliwatts -> dBm.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Linear power ratio -> dB.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// dB -> linear power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude ratio -> dB (20 log10).
+inline double amplitude_to_db(double a) { return 20.0 * std::log10(a); }
+
+constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+/// Wavelength (m) at carrier frequency f (Hz).
+inline double wavelength(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+/// Thermal noise floor in dBm for the given bandwidth: -174 dBm/Hz + 10log10(B).
+inline double thermal_noise_dbm(double bandwidth_hz) {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz);
+}
+
+/// A 2-D position in meters. The world is flat: wardriving happens on a
+/// city plane and indoor scenes fit in a room-scale box.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace politewifi

@@ -1,0 +1,65 @@
+// ACK/CTS observation — the wardriving rig's verification "thread" and
+// the sensing pipeline's measurement front-end.
+//
+// ACK frames carry no transmitter address, only the receiver (our spoofed
+// source). Attribution to a victim therefore works the way real rigs do
+// it: an ACK that lands within the response window after an injection to
+// target T was elicited by T.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/monitor.h"
+#include "phy/csi.h"
+
+namespace politewifi::core {
+
+struct AckObservation {
+  TimePoint time{};
+  MacAddress ra;  // who the ACK was addressed to (the spoofed source)
+  double rssi_dbm = -100.0;
+  std::optional<phy::CsiSnapshot> csi;
+  bool is_cts = false;  // CTS elicited by a fake RTS (§2.2 variant)
+  /// The victim attributed by injection bookkeeping; zero when unknown.
+  MacAddress attributed_victim{};
+};
+
+class AckSniffer {
+ public:
+  /// Subscribes to `hub`, keeping ACK/CTS frames addressed to `ra_filter`
+  /// (typically the spoofed source). `env` supplies timestamps.
+  AckSniffer(MonitorHub& hub, const mac::MacEnvironment& env,
+             MacAddress ra_filter);
+
+  /// Registers an injection toward `target` (call right after injecting)
+  /// so the next matching ACK is attributed to it.
+  void note_injection(const MacAddress& target);
+
+  /// Attribution window: ACKs arrive SIFS + airtime after the fake frame
+  /// (~50-100 us); anything older than this cannot be ours.
+  void set_window(Duration window) { window_ = window; }
+
+  const std::vector<AckObservation>& observations() const { return acks_; }
+  std::uint64_t total() const { return acks_.size(); }
+  void clear() { acks_.clear(); }
+
+  /// ACKs attributed to a given victim.
+  std::size_t count_from(const MacAddress& victim) const;
+
+ private:
+  void on_frame(const frames::Frame& frame, const phy::RxVector& rx);
+
+  const mac::MacEnvironment& env_;
+  MacAddress ra_filter_;
+  Duration window_ = microseconds(500);
+  std::vector<AckObservation> acks_;
+  struct PendingInjection {
+    TimePoint at;
+    MacAddress target;
+  };
+  std::deque<PendingInjection> pending_;
+};
+
+}  // namespace politewifi::core

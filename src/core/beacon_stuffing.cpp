@@ -1,0 +1,124 @@
+#include "core/beacon_stuffing.h"
+
+#include "frames/management.h"
+
+namespace politewifi::core {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0x50;  // 'P'
+constexpr std::uint8_t kMagic1 = 0x57;  // 'W'
+constexpr std::uint8_t kVendorIe = 221;
+
+}  // namespace
+
+Bytes StuffedChunk::serialize() const {
+  Bytes out;
+  out.reserve(4 + payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(seq);
+  out.push_back(total);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<StuffedChunk> StuffedChunk::parse(
+    std::span<const std::uint8_t> ie) {
+  if (ie.size() < 4 || ie[0] != kMagic0 || ie[1] != kMagic1) {
+    return std::nullopt;
+  }
+  StuffedChunk c;
+  c.seq = ie[2];
+  c.total = ie[3];
+  if (c.total == 0 || c.seq >= c.total) return std::nullopt;
+  c.payload.assign(ie.begin() + 4, ie.end());
+  return c;
+}
+
+BeaconStuffer::BeaconStuffer(sim::Device& sender, BeaconStufferConfig config)
+    : sender_(sender), config_(std::move(config)) {}
+
+void BeaconStuffer::broadcast(const std::string& message) {
+  chunks_.clear();
+  const std::size_t n_chunks = std::max<std::size_t>(
+      1, (message.size() + StuffedChunk::kMaxChunkPayload - 1) /
+             StuffedChunk::kMaxChunkPayload);
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    StuffedChunk c;
+    c.seq = static_cast<std::uint8_t>(i);
+    c.total = static_cast<std::uint8_t>(n_chunks);
+    const std::size_t begin = i * StuffedChunk::kMaxChunkPayload;
+    const std::size_t end =
+        std::min(message.size(), begin + StuffedChunk::kMaxChunkPayload);
+    c.payload.assign(message.begin() + long(begin), message.begin() + long(end));
+    chunks_.push_back(std::move(c));
+  }
+  next_chunk_ = 0;
+  ++generation_;
+  send_next();
+}
+
+void BeaconStuffer::stop() { ++generation_; }
+
+void BeaconStuffer::send_next() {
+  if (chunks_.empty()) return;
+  frames::Beacon body;
+  body.timestamp_us = static_cast<std::uint64_t>(
+      to_microseconds(sender_.radio().now().time_since_epoch()));
+  body.beacon_interval = static_cast<std::uint16_t>(
+      to_microseconds(config_.beacon_interval) / 1024.0);
+  body.elements.set_ssid(config_.ssid);
+  body.elements.set_supported_rates({0x8c, 0x12, 0x98, 0x24});
+  body.elements.add(kVendorIe, chunks_[next_chunk_].serialize());
+  next_chunk_ = (next_chunk_ + 1) % chunks_.size();
+
+  sender_.station().transmit_now(
+      frames::make_beacon(sender_.address(), body,
+                          sender_.station().next_sequence()),
+      config_.rate);
+  ++beacons_sent_;
+
+  const std::uint64_t gen = generation_;
+  sender_.radio().schedule(config_.beacon_interval, [this, gen] {
+    if (gen == generation_) send_next();
+  });
+}
+
+BeaconStuffingReceiver::BeaconStuffingReceiver(MonitorHub& hub) {
+  hub.add_tap([this](const frames::Frame& f, const phy::RxVector&,
+                     bool fcs_ok) {
+    if (fcs_ok) on_frame(f);
+  });
+}
+
+void BeaconStuffingReceiver::on_frame(const frames::Frame& frame) {
+  if (!frame.fc.is_beacon()) return;
+  const auto beacon = frames::Beacon::from_body(frame.body);
+  if (!beacon) return;
+  for (const auto& ie : beacon->elements.elements()) {
+    if (ie.id != kVendorIe) continue;
+    const auto chunk = StuffedChunk::parse(ie.value);
+    if (!chunk) continue;
+    if (pending_.size() != chunk->total) {
+      pending_.assign(chunk->total, std::nullopt);
+    }
+    pending_[chunk->seq] = chunk->payload;
+    try_assemble();
+  }
+}
+
+void BeaconStuffingReceiver::try_assemble() {
+  for (const auto& p : pending_) {
+    if (!p) return;
+  }
+  std::string message;
+  for (const auto& p : pending_) {
+    message.append(p->begin(), p->end());
+  }
+  pending_.clear();
+  messages_.push_back(message);
+  if (on_message_) on_message_(message);
+}
+
+}  // namespace politewifi::core

@@ -1,0 +1,85 @@
+// Beacon stuffing — association-free broadcast data (§5's related work,
+// Chandra et al. [8] / LoWS [29], by the same frame-injection toolbox).
+//
+// A sender embeds an application payload in vendor-specific information
+// elements of ordinary beacon frames; any sniffing receiver decodes it
+// without ever joining a network. The paper cites this as the benign
+// face of frame injection (location-based coupons, Wi-LE-style
+// low-power links); we implement it because the same injector/sniffer
+// substrate supports it directly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/monitor.h"
+#include "sim/device.h"
+
+namespace politewifi::core {
+
+/// Wire format inside the vendor IE (id 221):
+///   [magic(2) = 0x50 0x57] [seq(1)] [total(1)] [chunk bytes...]
+/// Messages larger than one IE are chunked across consecutive beacons.
+struct StuffedChunk {
+  std::uint8_t seq = 0;
+  std::uint8_t total = 1;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static std::optional<StuffedChunk> parse(std::span<const std::uint8_t> ie);
+  static constexpr std::size_t kMaxChunkPayload = 200;  // fits a 255-B IE
+};
+
+struct BeaconStufferConfig {
+  std::string ssid = "FreeCoupons";  // honest-looking carrier network
+  Duration beacon_interval = milliseconds(102);
+  phy::PhyRate rate = phy::kOfdm6;
+};
+
+/// Broadcasts a message by stuffing it into beacon frames. The sender
+/// needs no clients and the receivers need no association — exactly the
+/// deployment the paper's related work describes.
+class BeaconStuffer {
+ public:
+  BeaconStuffer(sim::Device& sender, BeaconStufferConfig config = {});
+
+  /// Starts cycling the message's chunks, one per beacon.
+  void broadcast(const std::string& message);
+  void stop();
+
+  std::uint64_t beacons_sent() const { return beacons_sent_; }
+
+ private:
+  void send_next();
+
+  sim::Device& sender_;
+  BeaconStufferConfig config_;
+  std::vector<StuffedChunk> chunks_;
+  std::size_t next_chunk_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t beacons_sent_ = 0;
+};
+
+/// Sniffs beacons (no association!) and reassembles stuffed messages.
+class BeaconStuffingReceiver {
+ public:
+  using MessageCallback = std::function<void(const std::string&)>;
+
+  /// Subscribes to `hub` (monitor tap of any station in range).
+  explicit BeaconStuffingReceiver(MonitorHub& hub);
+
+  void set_on_message(MessageCallback cb) { on_message_ = std::move(cb); }
+
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  void on_frame(const frames::Frame& frame);
+  void try_assemble();
+
+  std::vector<std::optional<Bytes>> pending_;
+  std::vector<std::string> messages_;
+  MessageCallback on_message_;
+};
+
+}  // namespace politewifi::core

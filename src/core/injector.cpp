@@ -1,0 +1,82 @@
+#include "core/injector.h"
+
+#include "phy/timing.h"
+
+namespace politewifi::core {
+
+FakeFrameInjector::FakeFrameInjector(sim::Device& attacker,
+                                     InjectorConfig config)
+    : attacker_(attacker), config_(config) {}
+
+frames::Frame FakeFrameInjector::craft(const MacAddress& target) {
+  if (config_.use_rts) {
+    // NAV long enough for CTS; the victim answers with CTS at SIFS.
+    return frames::make_rts(target, config_.spoofed_source, 60);
+  }
+  return frames::make_null_function(target, config_.spoofed_source,
+                                    sequence_++ & 0x0FFF);
+}
+
+void FakeFrameInjector::inject_one(const MacAddress& target) {
+  attacker_.station().transmit_now(craft(target), config_.rate);
+  ++stats_.frames_injected;
+}
+
+void FakeFrameInjector::inject_spoofed_deauth(const MacAddress& victim,
+                                              const MacAddress& spoofed_ap) {
+  attacker_.station().transmit_now(
+      frames::make_deauth(victim, spoofed_ap, spoofed_ap,
+                          frames::ReasonCode::kDeauthLeaving,
+                          sequence_++ & 0x0FFF),
+      config_.rate);
+  ++stats_.frames_injected;
+}
+
+void FakeFrameInjector::start_stream(const MacAddress& target,
+                                     double rate_pps) {
+  if (rate_pps <= 0.0) {
+    stop_stream(target);
+    return;
+  }
+  Stream& s = streams_[target];
+  s.rate_pps = rate_pps;
+  s.generation = next_generation_++;
+  ++stats_.streams_started;
+  schedule_next(target, s.generation);
+}
+
+void FakeFrameInjector::stop_stream(const MacAddress& target) {
+  streams_.erase(target);  // pending events see a missing/stale generation
+}
+
+void FakeFrameInjector::stop_all() { streams_.clear(); }
+
+void FakeFrameInjector::schedule_next(const MacAddress& target,
+                                      std::uint64_t generation) {
+  const auto it = streams_.find(target);
+  if (it == streams_.end() || it->second.generation != generation) return;
+
+  const Duration interval = from_seconds(1.0 / it->second.rate_pps);
+  attacker_.radio().schedule(interval, [this, target, generation] {
+    fire_stream(target, generation);
+  });
+}
+
+void FakeFrameInjector::fire_stream(const MacAddress& target,
+                                    std::uint64_t generation) {
+  const auto s = streams_.find(target);
+  if (s == streams_.end() || s->second.generation != generation) return;
+  // One radio, one frame at a time: defer while our own transmission (or
+  // anything else the CCA hears) occupies the channel. Keeps parallel
+  // streams from self-colliding, exactly like a real injection queue.
+  if (attacker_.radio().medium_busy()) {
+    attacker_.radio().schedule(microseconds(60), [this, target, generation] {
+      fire_stream(target, generation);
+    });
+    return;
+  }
+  inject_one(target);
+  schedule_next(target, generation);
+}
+
+}  // namespace politewifi::core

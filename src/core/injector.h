@@ -1,0 +1,78 @@
+// Fake-frame injector — the C++ analogue of the paper's Scapy scripts.
+//
+// Crafts 802.11 frames whose only truthful field is the destination MAC
+// (the victim), with the source spoofed to aa:bb:bb:bb:bb:bb, no payload
+// and no encryption, and puts them on the air. Supports one-shot bursts
+// (verification sweeps), continuous streams at a configured rate (CSI
+// harvesting at 150 fps, battery drain at up to 1000 fps), and the
+// RTS flavour from §2.2.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/device.h"
+
+namespace politewifi::core {
+
+struct InjectorConfig {
+  /// The spoofed transmitter address (paper's choice by default).
+  MacAddress spoofed_source = MacAddress::paper_fake_address();
+  /// Injection rate for data frames. ACKs come back at the matching
+  /// control-response rate.
+  phy::PhyRate rate = phy::kOfdm24;
+  /// Send fake RTS (eliciting CTS) instead of null data (eliciting ACK).
+  bool use_rts = false;
+};
+
+struct InjectorStats {
+  std::uint64_t frames_injected = 0;
+  std::uint64_t streams_started = 0;
+};
+
+class FakeFrameInjector {
+ public:
+  explicit FakeFrameInjector(sim::Device& attacker,
+                             InjectorConfig config = InjectorConfig{});
+
+  const InjectorConfig& config() const { return config_; }
+  const InjectorStats& stats() const { return stats_; }
+
+  /// Injects a single fake frame at `target` right now.
+  void inject_one(const MacAddress& target);
+
+  /// Classic deauth DoS (Bellardo & Savage '03, cited in §5): spoof a
+  /// deauthentication from `spoofed_ap` to `victim`. Foiled by 802.11w
+  /// PMF — which is exactly why the paper stresses that Polite WiFi,
+  /// living below management frames, is NOT foiled by it.
+  void inject_spoofed_deauth(const MacAddress& victim,
+                             const MacAddress& spoofed_ap);
+
+  /// Starts (or retargets) a periodic stream at `rate_pps` toward
+  /// `target`. Each target has at most one stream.
+  void start_stream(const MacAddress& target, double rate_pps);
+  void stop_stream(const MacAddress& target);
+  void stop_all();
+
+  bool streaming(const MacAddress& target) const {
+    return streams_.count(target) > 0;
+  }
+
+ private:
+  struct Stream {
+    double rate_pps = 0.0;
+    std::uint64_t generation = 0;
+  };
+
+  void schedule_next(const MacAddress& target, std::uint64_t generation);
+  void fire_stream(const MacAddress& target, std::uint64_t generation);
+  frames::Frame craft(const MacAddress& target);
+
+  sim::Device& attacker_;
+  InjectorConfig config_;
+  InjectorStats stats_;
+  std::uint16_t sequence_ = 0;
+  std::unordered_map<MacAddress, Stream> streams_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace politewifi::core

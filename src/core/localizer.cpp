@@ -1,0 +1,70 @@
+#include "core/localizer.h"
+
+#include <cmath>
+
+namespace politewifi::core {
+
+LocalizationResult trilaterate(const std::vector<RangeObservation>& ranges,
+                               Position initial_guess, int max_iterations,
+                               double tolerance_m) {
+  LocalizationResult result;
+  if (ranges.size() < 2) return result;
+
+  // Default initial guess: weighted centroid of the anchors.
+  Position p = initial_guess;
+  if (p.x == 0.0 && p.y == 0.0) {
+    double wsum = 0.0;
+    for (const auto& r : ranges) {
+      p.x += r.anchor.x * r.weight;
+      p.y += r.anchor.y * r.weight;
+      wsum += r.weight;
+    }
+    if (wsum > 0.0) {
+      p.x /= wsum;
+      p.y /= wsum;
+    }
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Normal equations for the linearized residuals r_i = |p - a_i| - d_i
+    // with Jacobian row J_i = (p - a_i) / |p - a_i|.
+    double jtj00 = 0, jtj01 = 0, jtj11 = 0, jtr0 = 0, jtr1 = 0;
+    for (const auto& obs : ranges) {
+      const double dx = p.x - obs.anchor.x;
+      const double dy = p.y - obs.anchor.y;
+      const double dist = std::max(std::hypot(dx, dy), 1e-6);
+      const double r = dist - obs.distance_m;
+      const double jx = dx / dist, jy = dy / dist;
+      const double w = obs.weight;
+      jtj00 += w * jx * jx;
+      jtj01 += w * jx * jy;
+      jtj11 += w * jy * jy;
+      jtr0 += w * jx * r;
+      jtr1 += w * jy * r;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::abs(det) < 1e-12) break;  // collinear anchors
+    // Solve JtJ * step = -Jtr.
+    const double step_x = (-jtr0 * jtj11 + jtr1 * jtj01) / det;
+    const double step_y = (-jtr1 * jtj00 + jtr0 * jtj01) / det;
+    p.x += step_x;
+    p.y += step_y;
+    if (std::hypot(step_x, step_y) < tolerance_m) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.position = p;
+  double ss = 0.0, wsum = 0.0;
+  for (const auto& obs : ranges) {
+    const double r = distance(p, obs.anchor) - obs.distance_m;
+    ss += obs.weight * r * r;
+    wsum += obs.weight;
+  }
+  result.residual_m = wsum > 0.0 ? std::sqrt(ss / wsum) : 0.0;
+  return result;
+}
+
+}  // namespace politewifi::core

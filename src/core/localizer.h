@@ -1,0 +1,36 @@
+// Non-cooperative localization from ACK-derived ranges.
+//
+// Combine RttRanger measurements taken from several attacker positions
+// (a drive-by, a walk around the building, a drone circuit — Wi-Peep's
+// setting) and solve for the victim's position by nonlinear least
+// squares. The victim contributes nothing but politeness.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace politewifi::core {
+
+struct RangeObservation {
+  Position anchor;       // where the attacker was
+  double distance_m;     // ACK-ToF range estimate from there
+  double weight = 1.0;   // e.g. 1/variance
+};
+
+struct LocalizationResult {
+  Position position{};
+  double residual_m = 0.0;   // RMS range residual at the solution
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Gauss-Newton trilateration. Needs >= 3 non-collinear anchors for an
+/// unambiguous fix; with exactly 2 it settles on one of the two mirror
+/// solutions (whichever the initial guess is nearer).
+LocalizationResult trilaterate(const std::vector<RangeObservation>& ranges,
+                               Position initial_guess = {},
+                               int max_iterations = 50,
+                               double tolerance_m = 1e-4);
+
+}  // namespace politewifi::core

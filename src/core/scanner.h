@@ -1,0 +1,56 @@
+// Passive device discovery — the wardriving rig's first "thread".
+//
+// Sniffs all traffic and classifies transmitters as APs or clients from
+// the frames they originate: beacons/probe responses/FromDS data mark an
+// AP; probe requests/ToDS data mark a client. Exactly the evidence the
+// paper's discovery thread had available.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/monitor.h"
+#include "scenario/oui_db.h"
+
+namespace politewifi::core {
+
+struct DiscoveredDevice {
+  MacAddress mac;
+  bool is_ap = false;
+  TimePoint first_seen{};
+  TimePoint last_seen{};
+  double last_rssi_dbm = -100.0;
+  std::optional<std::string> vendor;  // OUI lookup
+  std::uint64_t frames_seen = 0;
+};
+
+class DeviceScanner {
+ public:
+  using DiscoveryCallback = std::function<void(const DiscoveredDevice&)>;
+
+  /// Subscribes to `hub`. `env` supplies timestamps (the attacker's
+  /// radio). Addresses in `ignore` (the attacker's own and spoofed MACs)
+  /// are never reported.
+  DeviceScanner(MonitorHub& hub, const mac::MacEnvironment& env,
+                std::vector<MacAddress> ignore = {});
+
+  void set_on_discovery(DiscoveryCallback cb) { on_discovery_ = std::move(cb); }
+
+  const std::unordered_map<MacAddress, DiscoveredDevice>& devices() const {
+    return devices_;
+  }
+
+  std::size_t count_aps() const;
+  std::size_t count_clients() const;
+
+ private:
+  void on_frame(const frames::Frame& frame, const phy::RxVector& rx);
+
+  const mac::MacEnvironment& env_;
+  std::vector<MacAddress> ignore_;
+  std::unordered_map<MacAddress, DiscoveredDevice> devices_;
+  DiscoveryCallback on_discovery_;
+};
+
+}  // namespace politewifi::core

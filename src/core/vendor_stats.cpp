@@ -1,0 +1,71 @@
+#include "core/vendor_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace politewifi::core {
+
+std::vector<VendorRow> VendorTable::top_with_others(std::size_t n) const {
+  std::vector<VendorRow> out;
+  std::size_t others = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i < n) {
+      out.push_back(rows[i]);
+    } else {
+      others += rows[i].devices;
+    }
+  }
+  if (others > 0) out.push_back({"Others", others});
+  return out;
+}
+
+VendorTable tally_vendors(
+    const std::unordered_map<MacAddress, DiscoveredDevice>& devices,
+    bool aps) {
+  std::map<std::string, std::size_t> counts;
+  VendorTable table;
+  for (const auto& [mac, dev] : devices) {
+    if (dev.is_ap != aps) continue;
+    ++counts[dev.vendor.value_or("(unknown)")];
+    ++table.total;
+  }
+  table.rows.reserve(counts.size());
+  for (const auto& [vendor, n] : counts) table.rows.push_back({vendor, n});
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const VendorRow& a, const VendorRow& b) {
+              return a.devices != b.devices ? a.devices > b.devices
+                                            : a.vendor < b.vendor;
+            });
+  table.distinct_vendors = table.rows.size();
+  return table;
+}
+
+void print_table2(std::ostream& os, const VendorTable& clients,
+                  const VendorTable& aps, std::size_t top_n) {
+  const auto left = clients.top_with_others(top_n);
+  const auto right = aps.top_with_others(top_n);
+
+  os << "  WiFi Client Device           |  WiFi Access Point\n";
+  os << "  Vendor            # devices  |  Vendor            # devices\n";
+  os << "  -----------------------------+------------------------------\n";
+  const std::size_t rows = std::max(left.size(), right.size());
+  char line[160];
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::string lv = i < left.size() ? left[i].vendor : "";
+    const std::string lc =
+        i < left.size() ? std::to_string(left[i].devices) : "";
+    const std::string rv = i < right.size() ? right[i].vendor : "";
+    const std::string rc =
+        i < right.size() ? std::to_string(right[i].devices) : "";
+    std::snprintf(line, sizeof line, "  %-18s %9s  |  %-18s %9s\n",
+                  lv.c_str(), lc.c_str(), rv.c_str(), rc.c_str());
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "  %-18s %9zu  |  %-18s %9zu\n", "Total",
+                clients.total, "Total", aps.total);
+  os << "  -----------------------------+------------------------------\n"
+     << line;
+}
+
+}  // namespace politewifi::core

@@ -1,0 +1,36 @@
+// Table 2 aggregation: per-vendor tallies of surveyed devices.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scanner.h"
+
+namespace politewifi::core {
+
+struct VendorRow {
+  std::string vendor;
+  std::size_t devices = 0;
+};
+
+struct VendorTable {
+  std::vector<VendorRow> rows;  // descending by count
+  std::size_t total = 0;
+  std::size_t distinct_vendors = 0;
+
+  /// Top `n` rows plus an aggregated "Others" row — the paper's format.
+  std::vector<VendorRow> top_with_others(std::size_t n) const;
+};
+
+/// Tallies discovered devices of one class (APs or clients) by vendor.
+VendorTable tally_vendors(
+    const std::unordered_map<MacAddress, DiscoveredDevice>& devices,
+    bool aps);
+
+/// Renders the two-column Table 2 layout.
+void print_table2(std::ostream& os, const VendorTable& clients,
+                  const VendorTable& aps, std::size_t top_n = 20);
+
+}  // namespace politewifi::core

@@ -1,0 +1,124 @@
+// The §3 wardriving survey: a vehicle-mounted rig drives a city route,
+// discovers every WiFi device it hears, sends each one fake 802.11
+// frames, and verifies that they acknowledge.
+//
+// The paper implements this as three Scapy threads (discover / inject /
+// verify); in the discrete-event world the same three stages run as
+// event-driven components sharing one monitor-mode radio:
+//   - DeviceScanner     <- passive sniffing (thread 1)
+//   - injection pump    <- fake frames to the target list (thread 2)
+//   - verification tap  <- ACKs to the spoofed address (thread 3)
+#pragma once
+
+#include <set>
+
+#include "core/ack_sniffer.h"
+#include "core/injector.h"
+#include "core/scanner.h"
+#include "core/vendor_stats.h"
+#include "scenario/city.h"
+#include "sim/mobility.h"
+#include "sim/network.h"
+
+namespace politewifi::core {
+
+struct WardriveConfig {
+  double speed_mps = 11.0;  // ~40 km/h urban survey speed
+  /// City devices farther than this from the vehicle are dormant.
+  double activation_range_m = 240.0;
+  Duration activation_tick = milliseconds(500);
+  /// One injection per tick keeps ACK attribution unambiguous.
+  Duration injection_tick = milliseconds(2);
+  int max_attempts_per_target = 25;
+  /// Only inject at targets heard recently and loudly enough to answer.
+  double inject_min_rssi_dbm = -93.0;
+  Duration inject_freshness = seconds(5);
+  /// Loiter after the route ends to verify late discoveries.
+  Duration final_loiter = seconds(15);
+  /// Idle client chatter that makes clients discoverable.
+  double client_traffic_pps = 1.2;
+  Duration max_duration = minutes(75);
+  InjectorConfig injector{};
+  /// Injection runs at 1 Mb/s DSSS, like real long-range rigs: the
+  /// ~10 dB spreading gain keeps the fake frame (and the DSSS ACK it
+  /// elicits) decodable all the way down to the discovery threshold.
+  phy::PhyRate inject_rate = phy::kDsss1;
+  /// Channel-hopping rig: when non-empty, the survey radio cycles these
+  /// channels with `hop_dwell` on each (needed for multi-channel cities).
+  std::vector<int> hop_channels{};
+  Duration hop_dwell = milliseconds(250);
+};
+
+struct WardriveReport {
+  Duration elapsed{};
+  double distance_m = 0.0;
+  std::size_t population = 0;       // devices placed in the city
+  std::size_t discovered = 0;
+  std::size_t discovered_aps = 0;
+  std::size_t discovered_clients = 0;
+  std::size_t responded = 0;        // discovered devices that ACKed a fake
+  std::size_t responded_aps = 0;
+  std::size_t responded_clients = 0;
+  std::size_t distinct_vendors = 0;
+  std::uint64_t fake_frames_sent = 0;
+  std::uint64_t acks_observed = 0;
+  VendorTable client_table;
+  VendorTable ap_table;
+
+  double response_rate() const {
+    return discovered == 0 ? 0.0 : double(responded) / double(discovered);
+  }
+};
+
+class WardriveCampaign {
+ public:
+  WardriveCampaign(sim::Simulation& sim, const scenario::CityPlan& plan,
+                   WardriveConfig config = WardriveConfig{});
+
+  /// Drives the route to completion (or max_duration) and reports.
+  WardriveReport run();
+
+  const DeviceScanner& scanner() const { return *scanner_; }
+  const std::set<MacAddress>& responded() const { return responded_; }
+  sim::Device& attacker() { return *attacker_; }
+
+ private:
+  struct CityNode {
+    const scenario::CityDeviceSpec* spec = nullptr;
+    sim::Device* device = nullptr;
+    bool active = false;
+    std::uint64_t traffic_generation = 0;
+  };
+
+  void activation_tick();
+  void hop_tick();
+  void activate(CityNode& node);
+  void deactivate(CityNode& node);
+  void schedule_client_traffic(CityNode& node, std::uint64_t generation);
+  void injection_tick();
+  void on_ack(const frames::Frame& frame);
+
+  sim::Simulation& sim_;
+  const scenario::CityPlan& plan_;
+  WardriveConfig config_;
+
+  sim::Device* attacker_ = nullptr;
+  std::unique_ptr<MonitorHub> hub_;
+  std::unique_ptr<DeviceScanner> scanner_;
+  std::unique_ptr<FakeFrameInjector> injector_;
+  std::unique_ptr<sim::WaypointMover> mover_;
+
+  std::vector<CityNode> nodes_;
+  std::vector<MacAddress> target_queue_;  // discovered, pending verification
+  std::size_t next_target_ = 0;
+  std::set<MacAddress> responded_;
+  std::unordered_map<MacAddress, int> attempts_;
+  // Attribution state for the verification tap.
+  TimePoint last_injection_at_{};
+  MacAddress last_injection_target_{};
+  std::uint64_t acks_observed_ = 0;
+  std::size_t hop_index_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace politewifi::core

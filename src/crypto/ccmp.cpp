@@ -1,0 +1,218 @@
+#include "crypto/ccmp.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "frames/data.h"
+
+namespace politewifi::crypto {
+
+namespace ccm {
+
+namespace {
+
+constexpr std::size_t kMicLen = 8;
+constexpr std::size_t kL = 2;  // length-field octets
+constexpr std::size_t kNonceLen = 15 - kL;  // 13
+
+using Block = Aes128::Block;
+
+/// B0: flags | nonce | message length (L octets, big-endian).
+Block make_b0(std::span<const std::uint8_t> nonce, std::size_t msg_len,
+              bool has_aad) {
+  Block b{};
+  // flags: [Adata] [M'=(M-2)/2 in bits 5..3] [L'=L-1 in bits 2..0]
+  b[0] = static_cast<std::uint8_t>((has_aad ? 0x40 : 0x00) |
+                                   (((kMicLen - 2) / 2) << 3) | (kL - 1));
+  std::copy(nonce.begin(), nonce.end(), b.begin() + 1);
+  b[14] = static_cast<std::uint8_t>(msg_len >> 8);
+  b[15] = static_cast<std::uint8_t>(msg_len);
+  return b;
+}
+
+/// A_i: CTR-mode counter block i.
+Block make_counter(std::span<const std::uint8_t> nonce, std::uint16_t i) {
+  Block a{};
+  a[0] = kL - 1;  // flags: just L'
+  std::copy(nonce.begin(), nonce.end(), a.begin() + 1);
+  a[14] = static_cast<std::uint8_t>(i >> 8);
+  a[15] = static_cast<std::uint8_t>(i);
+  return a;
+}
+
+void xor_into(Block& acc, std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) acc[i] ^= data[i];
+}
+
+/// CBC-MAC over B0 || encoded(AAD) || plaintext, returning the full tag
+/// block (caller truncates to M octets and encrypts with A0).
+Block cbc_mac(const Aes128& cipher, std::span<const std::uint8_t> nonce,
+              std::span<const std::uint8_t> aad,
+              std::span<const std::uint8_t> plaintext) {
+  Block x = cipher.encrypt(make_b0(nonce, plaintext.size(), !aad.empty()));
+
+  if (!aad.empty()) {
+    // AAD is prefixed with its 2-octet length (AAD < 2^16 - 2^8 here) and
+    // the stream is zero-padded to a block boundary.
+    Block chunk{};
+    chunk[0] = static_cast<std::uint8_t>(aad.size() >> 8);
+    chunk[1] = static_cast<std::uint8_t>(aad.size());
+    std::size_t fill = 2;
+    std::size_t i = 0;
+    while (i < aad.size()) {
+      const std::size_t take = std::min(aad.size() - i, 16 - fill);
+      std::memcpy(chunk.data() + fill, aad.data() + i, take);
+      fill += take;
+      i += take;
+      if (fill == 16 || i == aad.size()) {
+        xor_into(x, {chunk.data(), fill});
+        cipher.encrypt_block(x);
+        chunk.fill(0);
+        fill = 0;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < plaintext.size(); i += 16) {
+    const std::size_t take = std::min<std::size_t>(16, plaintext.size() - i);
+    xor_into(x, plaintext.subspan(i, take));
+    cipher.encrypt_block(x);
+  }
+  return x;
+}
+
+/// CTR keystream application over `data` starting at counter 1.
+void ctr_crypt(const Aes128& cipher, std::span<const std::uint8_t> nonce,
+               std::span<std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); i += 16) {
+    const Block ks =
+        cipher.encrypt(make_counter(nonce, static_cast<std::uint16_t>(i / 16 + 1)));
+    const std::size_t take = std::min<std::size_t>(16, data.size() - i);
+    for (std::size_t j = 0; j < take; ++j) data[i + j] ^= ks[j];
+  }
+}
+
+}  // namespace
+
+Bytes encrypt(const Aes128& cipher, std::span<const std::uint8_t> nonce,
+              std::span<const std::uint8_t> aad,
+              std::span<const std::uint8_t> plaintext) {
+  const Block tag_block = cbc_mac(cipher, nonce, aad, plaintext);
+  const Block a0_ks = cipher.encrypt(make_counter(nonce, 0));
+
+  Bytes out(plaintext.begin(), plaintext.end());
+  ctr_crypt(cipher, nonce, out);
+  for (std::size_t i = 0; i < kMicLen; ++i)
+    out.push_back(static_cast<std::uint8_t>(tag_block[i] ^ a0_ks[i]));
+  return out;
+}
+
+std::optional<Bytes> decrypt(const Aes128& cipher,
+                             std::span<const std::uint8_t> nonce,
+                             std::span<const std::uint8_t> aad,
+                             std::span<const std::uint8_t> ct_and_mic) {
+  if (ct_and_mic.size() < kMicLen) return std::nullopt;
+  const auto ct = ct_and_mic.first(ct_and_mic.size() - kMicLen);
+  const auto mic = ct_and_mic.last(kMicLen);
+
+  Bytes plain(ct.begin(), ct.end());
+  ctr_crypt(cipher, nonce, plain);
+
+  const Block tag_block = cbc_mac(cipher, nonce, aad, plain);
+  const Block a0_ks = cipher.encrypt(make_counter(nonce, 0));
+  std::uint8_t diff = 0;  // constant-time compare
+  for (std::size_t i = 0; i < kMicLen; ++i)
+    diff |= static_cast<std::uint8_t>(mic[i] ^ tag_block[i] ^ a0_ks[i]);
+  if (diff != 0) return std::nullopt;
+  return plain;
+}
+
+}  // namespace ccm
+
+std::array<std::uint8_t, 13> ccmp_nonce(const frames::Frame& frame,
+                                        std::uint64_t packet_number) {
+  std::array<std::uint8_t, 13> nonce{};
+  // Priority octet: TID for QoS data, else 0.
+  nonce[0] = frame.has_qos_control()
+                 ? static_cast<std::uint8_t>(frame.qos_control & 0x0F)
+                 : 0;
+  const auto& a2 = frame.addr2.octets();
+  std::copy(a2.begin(), a2.end(), nonce.begin() + 1);
+  for (int i = 0; i < 6; ++i)
+    nonce[7 + i] = static_cast<std::uint8_t>(packet_number >> (40 - 8 * i));
+  return nonce;
+}
+
+Bytes ccmp_aad(const frames::Frame& frame) {
+  // §12.5.3.3.3: FC with Retry/PwrMgt/MoreData masked to 0, Protected
+  // forced to 1, and data-frame subtype bits 4..6 masked; SC with the
+  // sequence number masked (fragment number kept).
+  frames::FrameControl fc = frame.fc;
+  fc.retry = false;
+  fc.power_management = false;
+  fc.more_data = false;
+  fc.protected_frame = true;
+  std::uint16_t fc_raw = fc.pack();
+  if (frame.fc.is_data()) fc_raw &= static_cast<std::uint16_t>(~0x0070u);
+
+  ByteWriter w;
+  w.u16le(fc_raw);
+  w.bytes(frame.addr1.octets());
+  w.bytes(frame.addr2.octets());
+  w.bytes(frame.addr3.octets());
+  w.u16le(frame.seq.fragment & 0x0F);  // SC with sequence masked
+  if (frame.has_addr4()) w.bytes(frame.addr4.octets());
+  if (frame.has_qos_control())
+    w.u16le(frame.qos_control & 0x000F);  // TID only
+  return w.take();
+}
+
+void ccmp_protect(frames::Frame& frame, const Aes128::Key& temporal_key,
+                  std::uint64_t packet_number) {
+  const Aes128 cipher(temporal_key);
+  // AAD/nonce are computed over the header with Protected set (ccmp_aad
+  // forces the bit), matching the decapsulator's view.
+  const auto nonce = ccmp_nonce(frame, packet_number);
+  const auto aad = ccmp_aad(frame);
+
+  const Bytes ct = ccm::encrypt(cipher, nonce, aad, frame.body);
+
+  ByteWriter w(frames::CcmpHeader::kSize + ct.size());
+  frames::CcmpHeader hdr{.packet_number = packet_number, .key_id = 0};
+  hdr.serialize(w);
+  w.bytes(ct);
+  frame.body = w.take();
+  frame.fc.protected_frame = true;
+}
+
+bool ccmp_unprotect(frames::Frame& frame, const Aes128::Key& temporal_key) {
+  if (!frame.fc.protected_frame) return false;
+  if (frame.body.size() < frames::CcmpHeader::kSize + frames::CcmpHeader::kMicSize)
+    return false;
+
+  ByteReader r(frame.body);
+  const auto hdr = frames::CcmpHeader::deserialize(r);
+  if (!hdr) return false;
+
+  const Aes128 cipher(temporal_key);
+  const auto nonce = ccmp_nonce(frame, hdr->packet_number);
+  const auto aad = ccmp_aad(frame);
+  const auto plain = ccm::decrypt(cipher, nonce, aad, r.rest());
+  if (!plain) return false;
+
+  frame.body = *plain;
+  frame.fc.protected_frame = false;
+  return true;
+}
+
+std::optional<std::uint64_t> ccmp_packet_number(const frames::Frame& frame) {
+  if (!frame.fc.protected_frame ||
+      frame.body.size() < frames::CcmpHeader::kSize)
+    return std::nullopt;
+  ByteReader r(frame.body);
+  const auto hdr = frames::CcmpHeader::deserialize(r);
+  if (!hdr) return std::nullopt;
+  return hdr->packet_number;
+}
+
+}  // namespace politewifi::crypto

@@ -1,0 +1,62 @@
+// CCMP-128 (AES-CCM for 802.11, IEEE 802.11-2016 §12.5.3).
+//
+// CCM = CTR-mode encryption + CBC-MAC authentication, with the 802.11
+// profile M = 8 (MIC octets) and L = 2 (length-field octets). The nonce
+// binds the packet number and transmitter address; the AAD binds the MAC
+// header. This is what a WPA2 receiver *would* have to run before ACKing
+// to reject fake frames — and what provably cannot finish inside SIFS
+// (the §2.2 ablation measures this very code).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "frames/frame.h"
+
+namespace politewifi::crypto {
+
+using politewifi::Bytes;
+
+/// Low-level CCM primitives (exposed for tests against RFC 3610 vectors).
+namespace ccm {
+
+/// Authenticated encryption. nonce must be 13 octets for L=2.
+/// Returns ciphertext || MIC(8).
+Bytes encrypt(const Aes128& cipher, std::span<const std::uint8_t> nonce,
+              std::span<const std::uint8_t> aad,
+              std::span<const std::uint8_t> plaintext);
+
+/// Verifies and decrypts ciphertext || MIC(8); nullopt if the MIC fails.
+std::optional<Bytes> decrypt(const Aes128& cipher,
+                             std::span<const std::uint8_t> nonce,
+                             std::span<const std::uint8_t> aad,
+                             std::span<const std::uint8_t> ct_and_mic);
+
+}  // namespace ccm
+
+/// Builds the 13-octet CCMP nonce: priority | A2 | PN (big-endian).
+std::array<std::uint8_t, 13> ccmp_nonce(const frames::Frame& frame,
+                                        std::uint64_t packet_number);
+
+/// Builds the CCMP AAD from the (already populated) MAC header with the
+/// standard's bit masking applied.
+Bytes ccmp_aad(const frames::Frame& frame);
+
+/// Encrypts `frame`'s body in place under the temporal key: prepends the
+/// CCMP header, encrypts, appends the MIC, and sets the Protected bit.
+void ccmp_protect(frames::Frame& frame, const Aes128::Key& temporal_key,
+                  std::uint64_t packet_number);
+
+/// Reverses ccmp_protect. Returns false (leaving the frame untouched) on
+/// malformed CCMP blob or MIC failure — i.e. a fake or tampered frame.
+/// NOTE: by the time this code *could* run, the ACK is already on the air;
+/// see mac/ack_policy.h.
+bool ccmp_unprotect(frames::Frame& frame, const Aes128::Key& temporal_key);
+
+/// Extracts the packet number from a protected frame (for replay checks).
+std::optional<std::uint64_t> ccmp_packet_number(const frames::Frame& frame);
+
+}  // namespace politewifi::crypto

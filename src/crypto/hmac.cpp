@@ -1,0 +1,88 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace politewifi::crypto {
+
+Sha1::Digest hmac_sha1(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k_block{};
+  if (key.size() > kBlock) {
+    const auto digest = Sha1::hash(key);
+    std::copy(digest.begin(), digest.end(), k_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha1 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finalize();
+
+  Sha1 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+std::vector<std::uint8_t> pbkdf2_sha1(std::string_view password,
+                                      std::span<const std::uint8_t> salt,
+                                      unsigned iterations,
+                                      std::size_t dk_len) {
+  const std::span<const std::uint8_t> pw{
+      reinterpret_cast<const std::uint8_t*>(password.data()), password.size()};
+
+  std::vector<std::uint8_t> dk;
+  dk.reserve(dk_len);
+  for (std::uint32_t block = 1; dk.size() < dk_len; ++block) {
+    // U1 = HMAC(P, S || INT(block))
+    std::vector<std::uint8_t> msg(salt.begin(), salt.end());
+    msg.push_back(static_cast<std::uint8_t>(block >> 24));
+    msg.push_back(static_cast<std::uint8_t>(block >> 16));
+    msg.push_back(static_cast<std::uint8_t>(block >> 8));
+    msg.push_back(static_cast<std::uint8_t>(block));
+    auto u = hmac_sha1(pw, msg);
+    auto t = u;
+    for (unsigned i = 1; i < iterations; ++i) {
+      u = hmac_sha1(pw, u);
+      for (std::size_t j = 0; j < t.size(); ++j) t[j] ^= u[j];
+    }
+    const std::size_t take = std::min(t.size(), dk_len - dk.size());
+    dk.insert(dk.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return dk;
+}
+
+std::vector<std::uint8_t> ieee80211_prf(std::span<const std::uint8_t> key,
+                                        std::string_view label,
+                                        std::span<const std::uint8_t> context,
+                                        std::size_t bits) {
+  const std::size_t out_len = (bits + 7) / 8;
+  std::vector<std::uint8_t> out;
+  out.reserve(out_len + Sha1::kDigestSize);
+
+  std::vector<std::uint8_t> msg;
+  msg.insert(msg.end(), label.begin(), label.end());
+  msg.push_back(0x00);  // the standard's mandated separator octet
+  msg.insert(msg.end(), context.begin(), context.end());
+  msg.push_back(0x00);  // counter placeholder
+  const std::size_t counter_pos = msg.size() - 1;
+
+  for (std::uint8_t counter = 0; out.size() < out_len; ++counter) {
+    msg[counter_pos] = counter;
+    const auto digest = hmac_sha1(key, msg);
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace politewifi::crypto

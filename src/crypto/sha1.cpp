@@ -1,0 +1,114 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace politewifi::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : h_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t i = 0;
+  // Fill a partial buffer first.
+  if (buffer_len_ > 0) {
+    const std::size_t need = 64 - buffer_len_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    i = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  // Whole blocks straight from input.
+  for (; i + 64 <= data.size(); i += 64) process_block(data.data() + i);
+  // Stash the tail.
+  if (i < data.size()) {
+    buffer_len_ = data.size() - i;
+    std::memcpy(buffer_.data(), data.data() + i, buffer_len_);
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  // Append 0x80, zero-pad to 56 mod 64, append 64-bit big-endian length.
+  const std::uint64_t bits = total_bits_;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, 64 - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i)
+    buffer_[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  process_block(buffer_.data());
+  buffer_len_ = 0;
+
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[i * 4 + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    d[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    d[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    d[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  return s.finalize();
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[i * 4]} << 24) |
+           (std::uint32_t{block[i * 4 + 1]} << 16) |
+           (std::uint32_t{block[i * 4 + 2]} << 8) |
+           std::uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace politewifi::crypto

@@ -1,0 +1,41 @@
+// SHA-1 (FIPS-180), from scratch.
+//
+// WPA2-PSK's key derivation (PBKDF2 and the 802.11i PRF) is built on
+// HMAC-SHA1, so the simulator needs a real SHA-1. (SHA-1 is broken for
+// collision resistance, but that is irrelevant to HMAC/PBKDF2 use and we
+// match the deployed standard rather than improving on it.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace politewifi::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  /// Feeds more message bytes; can be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Pads, finalizes and returns the digest. The object must not be
+  /// updated afterwards (reconstruct for a new message).
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace politewifi::crypto

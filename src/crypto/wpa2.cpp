@@ -1,0 +1,68 @@
+#include "crypto/wpa2.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace politewifi::crypto {
+
+Pmk derive_pmk(std::string_view passphrase, std::string_view ssid) {
+  const std::span<const std::uint8_t> salt{
+      reinterpret_cast<const std::uint8_t*>(ssid.data()), ssid.size()};
+  const auto dk = pbkdf2_sha1(passphrase, salt, 4096, 32);
+  Pmk pmk;
+  std::copy(dk.begin(), dk.end(), pmk.begin());
+  return pmk;
+}
+
+Ptk derive_ptk(const Pmk& pmk, const MacAddress& ap, const MacAddress& sta,
+               const Nonce& anonce, const Nonce& snonce) {
+  // Context = min(AA,SPA) || max(AA,SPA) || min(ANonce,SNonce) || max(...)
+  std::vector<std::uint8_t> context;
+  context.reserve(12 + 64);
+  const MacAddress& lo_mac = std::min(ap, sta);
+  const MacAddress& hi_mac = std::max(ap, sta);
+  context.insert(context.end(), lo_mac.octets().begin(), lo_mac.octets().end());
+  context.insert(context.end(), hi_mac.octets().begin(), hi_mac.octets().end());
+  const bool a_first =
+      std::lexicographical_compare(anonce.begin(), anonce.end(),
+                                   snonce.begin(), snonce.end());
+  const Nonce& lo_n = a_first ? anonce : snonce;
+  const Nonce& hi_n = a_first ? snonce : anonce;
+  context.insert(context.end(), lo_n.begin(), lo_n.end());
+  context.insert(context.end(), hi_n.begin(), hi_n.end());
+
+  const auto bits = ieee80211_prf(pmk, "Pairwise key expansion", context, 384);
+
+  Ptk ptk;
+  std::copy(bits.begin(), bits.begin() + 16, ptk.kck.begin());
+  std::copy(bits.begin() + 16, bits.begin() + 32, ptk.kek.begin());
+  std::copy(bits.begin() + 32, bits.begin() + 48, ptk.tk.begin());
+  return ptk;
+}
+
+Ptk derive_fast_ptk(const MacAddress& ap, const MacAddress& sta) {
+  std::array<std::uint8_t, 12> seed;
+  std::copy(ap.octets().begin(), ap.octets().end(), seed.begin());
+  std::copy(sta.octets().begin(), sta.octets().end(), seed.begin() + 6);
+  const auto bits = ieee80211_prf(seed, "fast key expansion", seed, 384);
+  Ptk ptk;
+  std::copy(bits.begin(), bits.begin() + 16, ptk.kck.begin());
+  std::copy(bits.begin() + 16, bits.begin() + 32, ptk.kek.begin());
+  std::copy(bits.begin() + 32, bits.begin() + 48, ptk.tk.begin());
+  return ptk;
+}
+
+void Wpa2Session::protect(frames::Frame& frame) {
+  ccmp_protect(frame, ptk_.tk, ++tx_pn_);
+}
+
+bool Wpa2Session::unprotect(frames::Frame& frame) {
+  const auto pn = ccmp_packet_number(frame);
+  if (!pn) return false;
+  if (*pn <= rx_pn_) return false;  // replay
+  if (!ccmp_unprotect(frame, ptk_.tk)) return false;
+  rx_pn_ = *pn;
+  return true;
+}
+
+}  // namespace politewifi::crypto

@@ -1,0 +1,103 @@
+#include "defense/battery_guard.h"
+
+namespace politewifi::defense {
+
+BatteryGuard::BatteryGuard(sim::Scheduler& scheduler, sim::Device& victim,
+                           BatteryGuardConfig config)
+    : scheduler_(scheduler), victim_(victim), config_(config) {}
+
+void BatteryGuard::start() {
+  running_ = true;
+  last_acks_ = victim_.station().stats().acks_sent;
+  last_msdus_ =
+      victim_.client() != nullptr ? victim_.client()->stats().msdus_received
+                                  : 0;
+  last_sample_ = scheduler_.now();
+  scheduler_.schedule_in(config_.sample_interval, [this] { sample(); });
+}
+
+double BatteryGuard::ack_rate() const {
+  const double dt = to_seconds(scheduler_.now() - last_sample_);
+  if (dt <= 0.0) return 0.0;
+  return double(victim_.station().stats().acks_sent - last_acks_) / dt;
+}
+
+double BatteryGuard::legit_rate() const {
+  const double dt = to_seconds(scheduler_.now() - last_sample_);
+  if (dt <= 0.0 || victim_.client() == nullptr) return 0.0;
+  return double(victim_.client()->stats().msdus_received - last_msdus_) / dt;
+}
+
+void BatteryGuard::sample() {
+  if (!running_) return;
+  ++stats_.samples;
+
+  const double acks = ack_rate();
+  const double legit = legit_rate();
+  last_acks_ = victim_.station().stats().acks_sent;
+  last_msdus_ =
+      victim_.client() != nullptr ? victim_.client()->stats().msdus_received
+                                  : 0;
+  last_sample_ = scheduler_.now();
+
+  const bool under_attack = acks >= config_.ack_rate_threshold &&
+                            legit < config_.legit_rate_threshold;
+  if (!stats_.engaged && under_attack) {
+    engage();
+  } else if (stats_.engaged) {
+    // While engaged we sample during listen slots; the attacker's rate
+    // per wall second looks lower because we are mostly deaf. Scale the
+    // threshold by the listen duty fraction.
+    const double duty =
+        to_seconds(config_.listen_slot) /
+        to_seconds(config_.listen_slot + config_.sleep_slot);
+    if (acks < config_.ack_rate_threshold * duty) {
+      if (++calm_streak_ >= config_.calm_samples_to_disengage) disengage();
+    } else {
+      calm_streak_ = 0;
+    }
+  }
+
+  scheduler_.schedule_in(config_.sample_interval, [this] { sample(); });
+}
+
+void BatteryGuard::engage() {
+  if (victim_.client() != nullptr) victim_.client()->set_forced_doze(true);
+  stats_.engaged = true;
+  ++stats_.engagements;
+  if (stats_.engagements == 1) stats_.first_engaged_at = scheduler_.now();
+  calm_streak_ = 0;
+  ++duty_generation_;
+  duty_cycle();
+}
+
+void BatteryGuard::disengage() {
+  if (victim_.client() != nullptr) victim_.client()->set_forced_doze(false);
+  stats_.engaged = false;
+  ++duty_generation_;  // stops the duty loop
+  victim_.radio().set_sleeping(false);
+  victim_.station().set_dozing(false);
+}
+
+void BatteryGuard::duty_cycle() {
+  if (!stats_.engaged || !running_) return;
+  const std::uint64_t gen = duty_generation_;
+
+  // Sleep slot: deaf, cheap, and — crucially — silent: no ACKs.
+  victim_.radio().set_sleeping(true);
+  victim_.station().set_dozing(true);
+
+  scheduler_.schedule_in(config_.sleep_slot, [this, gen] {
+    if (gen != duty_generation_) return;
+    // Listen slot: reachable for a moment (and lets sample() see whether
+    // the attack has stopped).
+    victim_.radio().set_sleeping(false);
+    victim_.station().set_dozing(false);
+    scheduler_.schedule_in(config_.listen_slot, [this, gen] {
+      if (gen != duty_generation_) return;
+      duty_cycle();
+    });
+  });
+}
+
+}  // namespace politewifi::defense

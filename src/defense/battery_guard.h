@@ -1,0 +1,72 @@
+// Device-side mitigation of the battery-drain attack.
+//
+// A victim cannot stop ACKing (§2.2) — but it CAN notice that it is
+// ACKing far more than its real traffic justifies and choose to trade
+// reachability for battery: force the radio into a coarse duty cycle
+// (mostly asleep, brief listen slots) until the storm subsides. Frames
+// that arrive while asleep are never received, hence never ACKed, hence
+// cost nothing.
+//
+// This is the only mitigation class the physics allows, and it has a
+// price the guard makes explicit: during an engagement the device is
+// effectively offline between listen slots.
+#pragma once
+
+#include "sim/device.h"
+
+namespace politewifi::defense {
+
+struct BatteryGuardConfig {
+  /// Sampling cadence for the ACK-rate estimator.
+  Duration sample_interval = milliseconds(500);
+  /// ACKs/s above this with (almost) no real traffic = under attack.
+  double ack_rate_threshold = 25.0;
+  /// Real decrypted MSDUs/s below this counts as "no real traffic".
+  double legit_rate_threshold = 2.0;
+  /// Duty cycle while engaged.
+  Duration sleep_slot = milliseconds(450);
+  Duration listen_slot = milliseconds(50);
+  /// Consecutive calm samples (during listen slots) before disengaging.
+  int calm_samples_to_disengage = 4;
+};
+
+struct BatteryGuardStats {
+  std::uint64_t engagements = 0;
+  std::uint64_t samples = 0;
+  TimePoint first_engaged_at{};
+  bool engaged = false;
+};
+
+class BatteryGuard {
+ public:
+  /// Guards `victim` (a client device). Call start() once associated.
+  BatteryGuard(sim::Scheduler& scheduler, sim::Device& victim,
+               BatteryGuardConfig config = BatteryGuardConfig{});
+
+  void start();
+  void stop() { running_ = false; }
+
+  const BatteryGuardStats& stats() const { return stats_; }
+  bool engaged() const { return stats_.engaged; }
+
+ private:
+  void sample();
+  void engage();
+  void disengage();
+  void duty_cycle();
+  double ack_rate() const;
+  double legit_rate() const;
+
+  sim::Scheduler& scheduler_;
+  sim::Device& victim_;
+  BatteryGuardConfig config_;
+  BatteryGuardStats stats_;
+  bool running_ = false;
+  int calm_streak_ = 0;
+  std::uint64_t last_acks_ = 0;
+  std::uint64_t last_msdus_ = 0;
+  TimePoint last_sample_{};
+  std::uint64_t duty_generation_ = 0;
+};
+
+}  // namespace politewifi::defense

@@ -1,0 +1,118 @@
+#include "defense/injection_detector.h"
+
+#include <algorithm>
+#include <set>
+
+namespace politewifi::defense {
+
+const char* threat_kind_name(ThreatKind kind) {
+  switch (kind) {
+    case ThreatKind::kSensingPoll: return "sensing-poll";
+    case ThreatKind::kBatteryDrain: return "battery-drain";
+    case ThreatKind::kProbeSweep: return "probe-sweep";
+    case ThreatKind::kDeauthFlood: return "deauth-flood";
+  }
+  return "?";
+}
+
+InjectionDetector::InjectionDetector(InjectionDetectorConfig config)
+    : config_(config) {}
+
+void InjectionDetector::prune(SenderState& state, TimePoint now) const {
+  const TimePoint cutoff = now - config_.window;
+  std::erase_if(state.recent,
+                [cutoff](const auto& e) { return e.first < cutoff; });
+  std::erase_if(state.recent_deauths,
+                [cutoff](TimePoint t) { return t < cutoff; });
+}
+
+bool InjectionDetector::should_alert(SenderState& state, ThreatKind kind,
+                                     TimePoint now) const {
+  const auto it = state.last_alert.find(int(kind));
+  if (it != state.last_alert.end() &&
+      now - it->second < config_.realert_interval) {
+    return false;
+  }
+  state.last_alert[int(kind)] = now;
+  return true;
+}
+
+std::vector<ThreatAlert> InjectionDetector::observe(const frames::Frame& frame,
+                                                    TimePoint now) {
+  std::vector<ThreatAlert> raised;
+  if (!frame.has_addr2()) return raised;  // ACK/CTS carry no sender
+  const MacAddress& sender = frame.addr2;
+  if (trusted_.count(sender) > 0) return raised;
+  if (frame.addr1.is_group()) return raised;  // broadcast isn't pollable
+
+  SenderState& state = senders_[sender];
+  prune(state, now);
+
+  if (frame.fc.is_deauth()) {
+    state.recent_deauths.push_back(now);
+    if (state.recent_deauths.size() >= config_.deauth_flood_count &&
+        should_alert(state, ThreatKind::kDeauthFlood, now)) {
+      raised.push_back(ThreatAlert{.kind = ThreatKind::kDeauthFlood,
+                                   .attacker = sender,
+                                   .victim = frame.addr1,
+                                   .rate_pps = double(state.recent_deauths.size()) /
+                                               to_seconds(config_.window),
+                                   .raised_at = now});
+    }
+  }
+
+  // Fake-frame heuristics: unencrypted data (incl. null functions) or
+  // RTS from an untrusted sender.
+  const bool pollable =
+      (frame.fc.is_data() && !frame.fc.protected_frame) || frame.fc.is_rts();
+  if (pollable) {
+    state.recent.emplace_back(now, frame.addr1);
+
+    // Per-victim rate.
+    std::size_t to_this_victim = 0;
+    std::set<MacAddress> victims;
+    for (const auto& [t, v] : state.recent) {
+      victims.insert(v);
+      if (v == frame.addr1) ++to_this_victim;
+    }
+    const double rate =
+        double(to_this_victim) / to_seconds(config_.window);
+
+    if (rate >= config_.drain_rate_pps) {
+      if (should_alert(state, ThreatKind::kBatteryDrain, now)) {
+        raised.push_back(ThreatAlert{.kind = ThreatKind::kBatteryDrain,
+                                     .attacker = sender,
+                                     .victim = frame.addr1,
+                                     .rate_pps = rate,
+                                     .raised_at = now});
+      }
+    } else if (rate >= config_.sensing_rate_pps) {
+      if (should_alert(state, ThreatKind::kSensingPoll, now)) {
+        raised.push_back(ThreatAlert{.kind = ThreatKind::kSensingPoll,
+                                     .attacker = sender,
+                                     .victim = frame.addr1,
+                                     .rate_pps = rate,
+                                     .raised_at = now});
+      }
+    }
+
+    if (victims.size() >= config_.sweep_victims &&
+        should_alert(state, ThreatKind::kProbeSweep, now)) {
+      raised.push_back(ThreatAlert{.kind = ThreatKind::kProbeSweep,
+                                   .attacker = sender,
+                                   .victim = MacAddress{},
+                                   .rate_pps = double(state.recent.size()) /
+                                               to_seconds(config_.window),
+                                   .raised_at = now,
+                                   .victims = victims.size()});
+    }
+  }
+
+  for (const auto& alert : raised) {
+    alerts_.push_back(alert);
+    if (on_alert_) on_alert_(alert);
+  }
+  return raised;
+}
+
+}  // namespace politewifi::defense

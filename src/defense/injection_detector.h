@@ -1,0 +1,93 @@
+// Detection of Polite WiFi abuse — the countermeasure side the paper
+// leaves as "an interesting topic for future research".
+//
+// The ACK itself cannot be suppressed (§2.2), but the *attack traffic*
+// is loud: a CSI-harvesting attacker sends 100-1000 identical unicast
+// frames per second from an address that never associates and whose
+// frames never decrypt. A monitor (on the AP, or a dedicated guard
+// node) can flag that pattern in well under a second.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mac_address.h"
+#include "frames/frame.h"
+
+namespace politewifi::defense {
+
+enum class ThreatKind : std::uint8_t {
+  kSensingPoll,   // sustained 50..500 fps at one victim (CSI harvesting)
+  kBatteryDrain,  // > 500 fps at one victim
+  kProbeSweep,    // low-rate fakes fanned across many victims (wardriving)
+  kDeauthFlood,   // spoofed deauthentication bursts
+};
+
+const char* threat_kind_name(ThreatKind kind);
+
+struct ThreatAlert {
+  ThreatKind kind;
+  MacAddress attacker;   // the (likely spoofed) source address
+  MacAddress victim;     // zero for multi-victim sweeps
+  double rate_pps = 0.0; // observed frame rate
+  TimePoint raised_at{};
+  std::size_t victims = 1;  // distinct targets (sweeps)
+};
+
+struct InjectionDetectorConfig {
+  /// Sliding analysis window.
+  Duration window = seconds(1);
+  /// Unicast frames/s from one unassociated sender to one victim that
+  /// counts as a sensing poll.
+  double sensing_rate_pps = 30.0;
+  /// Threshold separating sensing polls from drain attacks.
+  double drain_rate_pps = 500.0;
+  /// Distinct victims within a window that marks a probe sweep.
+  std::size_t sweep_victims = 8;
+  /// Deauths per window from one sender that marks a flood.
+  std::size_t deauth_flood_count = 5;
+  /// Re-alert interval per (attacker, kind).
+  Duration realert_interval = seconds(10);
+};
+
+class InjectionDetector {
+ public:
+  using AlertCallback = std::function<void(const ThreatAlert&)>;
+
+  explicit InjectionDetector(InjectionDetectorConfig config);
+  InjectionDetector() : InjectionDetector(InjectionDetectorConfig{}) {}
+
+  void set_on_alert(AlertCallback cb) { on_alert_ = std::move(cb); }
+
+  /// Marks a sender as a legitimate network member (associated stations
+  /// are exempt from fake-frame heuristics).
+  void mark_trusted(const MacAddress& sender) { trusted_.insert(sender); }
+  void unmark_trusted(const MacAddress& sender) { trusted_.erase(sender); }
+
+  /// Feed every sniffed FCS-valid frame with its arrival time. Returns
+  /// the alerts raised by this frame (also delivered via callback).
+  std::vector<ThreatAlert> observe(const frames::Frame& frame, TimePoint now);
+
+  const std::vector<ThreatAlert>& alerts() const { return alerts_; }
+
+ private:
+  struct SenderState {
+    std::vector<std::pair<TimePoint, MacAddress>> recent;  // (time, victim)
+    std::vector<TimePoint> recent_deauths;
+    std::unordered_map<int, TimePoint> last_alert;  // by ThreatKind
+  };
+
+  void prune(SenderState& state, TimePoint now) const;
+  bool should_alert(SenderState& state, ThreatKind kind, TimePoint now) const;
+
+  InjectionDetectorConfig config_;
+  AlertCallback on_alert_;
+  std::unordered_map<MacAddress, SenderState> senders_;
+  std::unordered_set<MacAddress> trusted_;
+  std::vector<ThreatAlert> alerts_;
+};
+
+}  // namespace politewifi::defense

@@ -1,0 +1,47 @@
+#include "defense/mac_rotation.h"
+
+namespace politewifi::defense {
+
+MacRotation::MacRotation(sim::Scheduler& scheduler, sim::Device& device,
+                         MacRotationConfig config)
+    : scheduler_(scheduler),
+      device_(device),
+      config_(config),
+      rng_(config.seed) {}
+
+void MacRotation::start() {
+  running_ = true;
+  scheduler_.schedule_in(config_.interval, [this] { rotate(); });
+}
+
+MacAddress MacRotation::next_address() {
+  const MacAddress old = device_.station().address();
+  std::array<std::uint8_t, 6> octets;
+  for (auto& o : octets) o = std::uint8_t(rng_.uniform_int(0, 255));
+  if (config_.keep_oui) {
+    octets[0] = old[0];
+    octets[1] = old[1];
+    octets[2] = old[2];
+  } else {
+    // Locally administered, unicast: the standard randomized-MAC form.
+    octets[0] = std::uint8_t((octets[0] | 0x02) & ~0x01);
+  }
+  return MacAddress{octets};
+}
+
+void MacRotation::rotate() {
+  if (!running_) return;
+  // Deployed rotation policies only rotate while unassociated: changing
+  // the address under an established link would break it.
+  const bool associated =
+      device_.client() != nullptr && device_.client()->established();
+  if (associated) {
+    ++stats_.skipped_while_associated;
+  } else {
+    device_.station().set_address(next_address());
+    ++stats_.rotations;
+  }
+  scheduler_.schedule_in(config_.interval, [this] { rotate(); });
+}
+
+}  // namespace politewifi::defense

@@ -1,0 +1,58 @@
+// MAC address rotation — the privacy countermeasure that *does* bite.
+//
+// Polite WiFi's sensing and tracking attacks address the victim by MAC.
+// The ACK cannot be withheld (§2.2) — but the address can be a moving
+// target: while unassociated, a device can rotate through randomized
+// locally-administered MACs (as iOS/Android do for probe requests). Every
+// rotation orphans the attacker's target list: fake frames to the old
+// address fall on deaf ears until the victim is re-discovered, cutting
+// the attacker's usable CSI duty cycle.
+//
+// The defense is not free — rotation breaks continuity for *legitimate*
+// long-lived associations too, which is exactly why deployed devices only
+// rotate while unassociated. The guard honours that.
+#pragma once
+
+#include "sim/device.h"
+
+namespace politewifi::defense {
+
+struct MacRotationConfig {
+  /// Rotation period.
+  Duration interval = seconds(30);
+  /// Keep the vendor OUI (some devices do, most randomize fully).
+  bool keep_oui = false;
+  std::uint64_t seed = 0xDECAF;
+};
+
+struct MacRotationStats {
+  std::uint64_t rotations = 0;
+  std::uint64_t skipped_while_associated = 0;
+};
+
+class MacRotation {
+ public:
+  MacRotation(sim::Scheduler& scheduler, sim::Device& device,
+              MacRotationConfig config = MacRotationConfig{});
+
+  void start();
+  void stop() { running_ = false; }
+
+  const MacRotationStats& stats() const { return stats_; }
+  const MacAddress& current_address() const {
+    return device_.station().address();
+  }
+
+ private:
+  void rotate();
+  MacAddress next_address();
+
+  sim::Scheduler& scheduler_;
+  sim::Device& device_;
+  MacRotationConfig config_;
+  MacRotationStats stats_;
+  Rng rng_;
+  bool running_ = false;
+};
+
+}  // namespace politewifi::defense

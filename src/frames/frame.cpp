@@ -1,0 +1,96 @@
+#include "frames/frame.h"
+
+#include <cstdio>
+
+namespace politewifi::frames {
+
+std::size_t Frame::header_size() const {
+  if (fc.is_control()) {
+    // FC (2) + Duration (2) + RA (6) [+ TA (6)]
+    return has_addr2() ? 16 : 10;
+  }
+  std::size_t n = 2 + 2 + 6 + 6 + 6 + 2;  // FC, dur, addr1-3, seq ctl
+  if (has_addr4()) n += 6;
+  if (has_qos_control()) n += 2;
+  return n;
+}
+
+MacAddress Frame::destination() const {
+  if (!has_addr3()) return addr1;
+  if (fc.to_ds && fc.from_ds) return addr3;
+  if (fc.to_ds) return addr3;  // To the DS: DA is addr3
+  return addr1;                // From DS or IBSS: DA is addr1
+}
+
+MacAddress Frame::source() const {
+  if (!has_addr3()) return addr2;
+  if (fc.to_ds && fc.from_ds) return addr4;
+  if (fc.from_ds) return addr3;  // From the DS: SA is addr3
+  return addr2;                  // To DS or IBSS: SA is addr2
+}
+
+MacAddress Frame::bssid() const {
+  if (!has_addr3()) return MacAddress{};
+  if (fc.to_ds && fc.from_ds) return MacAddress{};  // WDS has no single BSSID
+  if (fc.to_ds) return addr1;
+  if (fc.from_ds) return addr2;
+  return addr3;  // IBSS / management
+}
+
+std::string Frame::summary() const {
+  std::string s = fc.subtype_name();
+  char buf[64];
+  if (has_sequence_control()) {
+    std::snprintf(buf, sizeof buf, ", SN=%u", seq.sequence);
+    s += buf;
+  }
+  std::string flags;
+  if (fc.to_ds) flags += 'T';
+  if (fc.from_ds) flags += 'F';
+  if (fc.retry) flags += 'R';
+  if (fc.power_management) flags += 'P';
+  if (fc.protected_frame) flags += 'C';  // "C" = cryptographically protected
+  if (!flags.empty()) s += ", Flags=" + flags;
+  return s;
+}
+
+Frame make_ack(const MacAddress& ra) {
+  Frame f;
+  f.fc = FrameControl::control(ControlSubtype::kAck);
+  f.duration_id = 0;  // final frame of the exchange: NAV ends
+  f.addr1 = ra;
+  return f;
+}
+
+Frame make_cts(const MacAddress& ra, std::uint16_t duration_us) {
+  Frame f;
+  f.fc = FrameControl::control(ControlSubtype::kCts);
+  f.duration_id = duration_us;
+  f.addr1 = ra;
+  return f;
+}
+
+Frame make_rts(const MacAddress& ra, const MacAddress& ta,
+               std::uint16_t duration_us) {
+  Frame f;
+  f.fc = FrameControl::control(ControlSubtype::kRts);
+  f.duration_id = duration_us;
+  f.addr1 = ra;
+  f.addr2 = ta;
+  return f;
+}
+
+Frame make_null_function(const MacAddress& ra, const MacAddress& ta,
+                         std::uint16_t sequence) {
+  Frame f;
+  f.fc = FrameControl::data(DataSubtype::kNull);
+  f.fc.to_ds = true;  // cosmetic: mimics a STA->AP keep-alive
+  f.duration_id = 44;  // SIFS + ACK airtime at 24 Mb/s, rounded up
+  f.addr1 = ra;
+  f.addr2 = ta;
+  f.addr3 = ra;  // BSSID slot; victim never validates it
+  f.seq.sequence = sequence;
+  return f;
+}
+
+}  // namespace politewifi::frames

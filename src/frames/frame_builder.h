@@ -1,0 +1,97 @@
+// Scapy-style fluent frame builder.
+//
+// The paper's attacker crafts frames with arbitrary header contents using
+// Scapy; FrameBuilder is the C++ equivalent. Nothing is validated — the
+// whole point is that the *receiver* doesn't validate either.
+#pragma once
+
+#include "frames/frame.h"
+
+namespace politewifi::frames {
+
+class FrameBuilder {
+ public:
+  FrameBuilder() = default;
+
+  FrameBuilder& type(FrameType t) {
+    frame_.fc.type = t;
+    return *this;
+  }
+  FrameBuilder& subtype(std::uint8_t raw) {
+    frame_.fc.subtype = raw & 0x0F;
+    return *this;
+  }
+  FrameBuilder& management(ManagementSubtype s) {
+    frame_.fc = FrameControl::management(s);
+    return *this;
+  }
+  FrameBuilder& control(ControlSubtype s) {
+    frame_.fc = FrameControl::control(s);
+    return *this;
+  }
+  FrameBuilder& data(DataSubtype s) {
+    frame_.fc = FrameControl::data(s);
+    return *this;
+  }
+
+  FrameBuilder& to_ds(bool v = true) {
+    frame_.fc.to_ds = v;
+    return *this;
+  }
+  FrameBuilder& from_ds(bool v = true) {
+    frame_.fc.from_ds = v;
+    return *this;
+  }
+  FrameBuilder& retry(bool v = true) {
+    frame_.fc.retry = v;
+    return *this;
+  }
+  FrameBuilder& power_management(bool v = true) {
+    frame_.fc.power_management = v;
+    return *this;
+  }
+  FrameBuilder& protected_frame(bool v = true) {
+    frame_.fc.protected_frame = v;
+    return *this;
+  }
+
+  FrameBuilder& duration(std::uint16_t us) {
+    frame_.duration_id = us;
+    return *this;
+  }
+  FrameBuilder& addr1(const MacAddress& m) {
+    frame_.addr1 = m;
+    return *this;
+  }
+  FrameBuilder& addr2(const MacAddress& m) {
+    frame_.addr2 = m;
+    return *this;
+  }
+  FrameBuilder& addr3(const MacAddress& m) {
+    frame_.addr3 = m;
+    return *this;
+  }
+  FrameBuilder& addr4(const MacAddress& m) {
+    frame_.addr4 = m;
+    return *this;
+  }
+  FrameBuilder& sequence(std::uint16_t sn, std::uint8_t frag = 0) {
+    frame_.seq = {sn, frag};
+    return *this;
+  }
+  FrameBuilder& qos(std::uint16_t qc) {
+    frame_.qos_control = qc;
+    return *this;
+  }
+  FrameBuilder& body(Bytes b) {
+    frame_.body = std::move(b);
+    return *this;
+  }
+
+  Frame build() const { return frame_; }
+
+ private:
+  Frame frame_;
+};
+
+}  // namespace politewifi::frames

@@ -1,0 +1,77 @@
+#include "frames/frame_control.h"
+
+namespace politewifi::frames {
+
+std::uint16_t FrameControl::pack() const {
+  std::uint16_t v = 0;
+  v |= static_cast<std::uint16_t>(protocol_version & 0x03);
+  v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(type) & 0x03) << 2;
+  v |= static_cast<std::uint16_t>(subtype & 0x0F) << 4;
+  if (to_ds) v |= 1u << 8;
+  if (from_ds) v |= 1u << 9;
+  if (more_fragments) v |= 1u << 10;
+  if (retry) v |= 1u << 11;
+  if (power_management) v |= 1u << 12;
+  if (more_data) v |= 1u << 13;
+  if (protected_frame) v |= 1u << 14;
+  if (order) v |= 1u << 15;
+  return v;
+}
+
+FrameControl FrameControl::unpack(std::uint16_t raw) {
+  FrameControl fc;
+  fc.protocol_version = raw & 0x03;
+  fc.type = static_cast<FrameType>((raw >> 2) & 0x03);
+  fc.subtype = (raw >> 4) & 0x0F;
+  fc.to_ds = raw & (1u << 8);
+  fc.from_ds = raw & (1u << 9);
+  fc.more_fragments = raw & (1u << 10);
+  fc.retry = raw & (1u << 11);
+  fc.power_management = raw & (1u << 12);
+  fc.more_data = raw & (1u << 13);
+  fc.protected_frame = raw & (1u << 14);
+  fc.order = raw & (1u << 15);
+  return fc;
+}
+
+std::string FrameControl::subtype_name() const {
+  switch (type) {
+    case FrameType::kManagement:
+      switch (static_cast<ManagementSubtype>(subtype)) {
+        case ManagementSubtype::kAssocRequest: return "Association Request";
+        case ManagementSubtype::kAssocResponse: return "Association Response";
+        case ManagementSubtype::kProbeRequest: return "Probe Request";
+        case ManagementSubtype::kProbeResponse: return "Probe Response";
+        case ManagementSubtype::kBeacon: return "Beacon frame";
+        case ManagementSubtype::kDisassociation: return "Disassociation";
+        case ManagementSubtype::kAuthentication: return "Authentication";
+        case ManagementSubtype::kDeauthentication: return "Deauthentication";
+        case ManagementSubtype::kAction: return "Action";
+      }
+      return "Management (reserved subtype)";
+    case FrameType::kControl:
+      switch (static_cast<ControlSubtype>(subtype)) {
+        case ControlSubtype::kBlockAckRequest: return "Block Ack Request";
+        case ControlSubtype::kBlockAck: return "Block Ack";
+        case ControlSubtype::kPsPoll: return "PS-Poll";
+        case ControlSubtype::kRts: return "Request-to-send";
+        case ControlSubtype::kCts: return "Clear-to-send";
+        case ControlSubtype::kAck: return "Acknowledgement";
+        case ControlSubtype::kCfEnd: return "CF-End";
+      }
+      return "Control (reserved subtype)";
+    case FrameType::kData:
+      switch (static_cast<DataSubtype>(subtype)) {
+        case DataSubtype::kData: return "Data";
+        case DataSubtype::kNull: return "Null function (No data)";
+        case DataSubtype::kQosData: return "QoS Data";
+        case DataSubtype::kQosNull: return "QoS Null function (No data)";
+      }
+      return "Data (other subtype)";
+    case FrameType::kExtension:
+      return "Extension";
+  }
+  return "?";
+}
+
+}  // namespace politewifi::frames

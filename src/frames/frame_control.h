@@ -1,0 +1,139 @@
+// The 16-bit 802.11 Frame Control field (IEEE 802.11-2016 §9.2.4.1).
+//
+// Frame Control determines the layout of the rest of the MPDU: which
+// address fields are present, whether a sequence-control field follows,
+// and how the receiver must treat the frame. The Polite WiFi attack works
+// precisely because the receive path looks at *only* this field, addr1 and
+// the FCS before committing to an ACK.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace politewifi::frames {
+
+/// Frame type (2 bits).
+enum class FrameType : std::uint8_t {
+  kManagement = 0,
+  kControl = 1,
+  kData = 2,
+  kExtension = 3,
+};
+
+/// Management frame subtypes (4 bits) we model.
+enum class ManagementSubtype : std::uint8_t {
+  kAssocRequest = 0,
+  kAssocResponse = 1,
+  kProbeRequest = 4,
+  kProbeResponse = 5,
+  kBeacon = 8,
+  kDisassociation = 10,
+  kAuthentication = 11,
+  kDeauthentication = 12,
+  kAction = 13,
+};
+
+/// Control frame subtypes (4 bits) we model.
+enum class ControlSubtype : std::uint8_t {
+  kBlockAckRequest = 8,
+  kBlockAck = 9,
+  kPsPoll = 10,
+  kRts = 11,
+  kCts = 12,
+  kAck = 13,
+  kCfEnd = 14,
+};
+
+/// Data frame subtypes (4 bits) we model. Null-function frames — data
+/// frames with no payload — are the attacker's weapon of choice in the
+/// paper because they are the smallest frame a receiver will ACK.
+enum class DataSubtype : std::uint8_t {
+  kData = 0,
+  kNull = 4,
+  kQosData = 8,
+  kQosNull = 12,
+};
+
+/// Decoded Frame Control field.
+struct FrameControl {
+  std::uint8_t protocol_version = 0;  // always 0 in deployed 802.11
+  FrameType type = FrameType::kData;
+  std::uint8_t subtype = 0;  // raw 4-bit subtype; see typed accessors
+  bool to_ds = false;
+  bool from_ds = false;
+  bool more_fragments = false;
+  bool retry = false;
+  bool power_management = false;
+  bool more_data = false;
+  bool protected_frame = false;  // a.k.a. WEP/Privacy bit; set for CCMP
+  bool order = false;
+
+  friend constexpr bool operator==(const FrameControl&,
+                                   const FrameControl&) = default;
+
+  /// Packs into the on-air 16-bit little-endian representation.
+  std::uint16_t pack() const;
+  static FrameControl unpack(std::uint16_t raw);
+
+  // --- Typed constructors -------------------------------------------------
+
+  static FrameControl management(ManagementSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::kManagement;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+
+  static FrameControl control(ControlSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::kControl;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+
+  static FrameControl data(DataSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::kData;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+
+  // --- Queries -------------------------------------------------------------
+
+  bool is_management() const { return type == FrameType::kManagement; }
+  bool is_control() const { return type == FrameType::kControl; }
+  bool is_data() const { return type == FrameType::kData; }
+
+  bool is_subtype(ManagementSubtype s) const {
+    return is_management() && subtype == static_cast<std::uint8_t>(s);
+  }
+  bool is_subtype(ControlSubtype s) const {
+    return is_control() && subtype == static_cast<std::uint8_t>(s);
+  }
+  bool is_subtype(DataSubtype s) const {
+    return is_data() && subtype == static_cast<std::uint8_t>(s);
+  }
+
+  bool is_ack() const { return is_subtype(ControlSubtype::kAck); }
+  bool is_rts() const { return is_subtype(ControlSubtype::kRts); }
+  bool is_cts() const { return is_subtype(ControlSubtype::kCts); }
+  bool is_beacon() const { return is_subtype(ManagementSubtype::kBeacon); }
+  bool is_deauth() const {
+    return is_subtype(ManagementSubtype::kDeauthentication);
+  }
+
+  /// Null-function (no data) frames in either plain or QoS flavour.
+  bool is_null_function() const {
+    return is_subtype(DataSubtype::kNull) || is_subtype(DataSubtype::kQosNull);
+  }
+
+  bool is_qos_data() const {
+    return is_data() && (subtype & 0x08) != 0;
+  }
+
+  /// Human-readable subtype name matching Wireshark's "Info" column
+  /// vocabulary ("Null function (No data)", "Acknowledgement", ...).
+  std::string subtype_name() const;
+};
+
+}  // namespace politewifi::frames

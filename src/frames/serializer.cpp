@@ -1,0 +1,81 @@
+#include "frames/serializer.h"
+
+#include "common/crc32.h"
+
+namespace politewifi::frames {
+
+namespace {
+
+void write_mac(ByteWriter& w, const MacAddress& m) { w.bytes(m.octets()); }
+
+MacAddress read_mac(ByteReader& r) {
+  auto b = r.bytes(MacAddress::kSize);
+  std::array<std::uint8_t, MacAddress::kSize> octets;
+  std::copy(b.begin(), b.end(), octets.begin());
+  return MacAddress{octets};
+}
+
+}  // namespace
+
+Bytes serialize(const Frame& frame) {
+  ByteWriter w(frame.size_bytes());
+  w.u16le(frame.fc.pack());
+  w.u16le(frame.duration_id);
+  write_mac(w, frame.addr1);
+  if (frame.has_addr2()) write_mac(w, frame.addr2);
+  if (frame.has_addr3()) write_mac(w, frame.addr3);
+  if (frame.has_sequence_control()) w.u16le(frame.seq.pack());
+  if (frame.has_addr4()) write_mac(w, frame.addr4);
+  if (frame.has_qos_control()) w.u16le(frame.qos_control);
+  w.bytes(frame.body);
+  w.u32le(crc32(w.view()));
+  return w.take();
+}
+
+DeserializeResult deserialize(std::span<const std::uint8_t> raw) {
+  DeserializeResult result;
+  if (raw.size() < 10 + 4) return result;  // smaller than the shortest MPDU
+
+  // FCS check over everything but the trailing 4 octets.
+  const auto payload = raw.first(raw.size() - 4);
+  ByteReader fcs_reader(raw.subspan(raw.size() - 4));
+  const std::uint32_t received_fcs = fcs_reader.u32le();
+  result.fcs_ok = crc32(payload) == received_fcs;
+
+  try {
+    ByteReader r(payload);
+    Frame f;
+    f.fc = FrameControl::unpack(r.u16le());
+    f.duration_id = r.u16le();
+    f.addr1 = read_mac(r);
+    if (f.has_addr2()) f.addr2 = read_mac(r);
+    if (f.has_addr3()) f.addr3 = read_mac(r);
+    if (f.has_sequence_control()) f.seq = SequenceControl::unpack(r.u16le());
+    if (f.has_addr4()) f.addr4 = read_mac(r);
+    if (f.has_qos_control()) f.qos_control = r.u16le();
+    auto rest = r.rest();
+    f.body.assign(rest.begin(), rest.end());
+    result.frame = std::move(f);
+  } catch (const BufferUnderflow&) {
+    // Truncated header: structurally undecodable. result.frame stays empty.
+  }
+  return result;
+}
+
+void corrupt(Bytes& raw, unsigned nflips, std::uint64_t seed) {
+  // splitmix64 — tiny, deterministic, independent of <random>.
+  auto next = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  if (raw.empty()) return;
+  for (unsigned i = 0; i < nflips; ++i) {
+    const std::uint64_t r = next();
+    raw[r % raw.size()] ^= static_cast<std::uint8_t>(1u << (r >> 32 & 7));
+  }
+}
+
+}  // namespace politewifi::frames

@@ -1,0 +1,33 @@
+// MPDU <-> octets codec with FCS.
+//
+// `serialize` appends the real CRC-32 FCS; `deserialize` verifies it and
+// reports failure the way hardware does — by telling the caller the frame
+// is not valid, so the MAC never sees it and (critically) never ACKs it.
+#pragma once
+
+#include <optional>
+
+#include "common/byte_buffer.h"
+#include "frames/frame.h"
+
+namespace politewifi::frames {
+
+/// Serializes `frame` to its exact on-air octet string, FCS included.
+Bytes serialize(const Frame& frame);
+
+/// Outcome of deserializing a received octet string.
+struct DeserializeResult {
+  std::optional<Frame> frame;  // nullopt if the frame could not be decoded
+  bool fcs_ok = false;         // FCS verification result
+};
+
+/// Parses an on-air octet string. A frame with a bad FCS may still be
+/// structurally parseable (frame is set, fcs_ok false) — sniffers display
+/// such frames, but a receiving MAC must drop them without acknowledging.
+DeserializeResult deserialize(std::span<const std::uint8_t> raw);
+
+/// Flips `nflips` random-ish bits in `raw` (deterministic given `seed`),
+/// modelling channel corruption for failure-injection tests.
+void corrupt(Bytes& raw, unsigned nflips, std::uint64_t seed);
+
+}  // namespace politewifi::frames

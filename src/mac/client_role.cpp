@@ -1,0 +1,354 @@
+#include "mac/client_role.h"
+
+namespace politewifi::mac {
+
+ClientRole::ClientRole(ClientConfig config, RoleContext ctx)
+    : config_(std::move(config)), ctx_(ctx), rng_(ctx.rng) {
+  if (!config_.fast_keys) {
+    pmk_ = crypto::derive_pmk(config_.passphrase, config_.ssid);
+  }
+}
+
+void ClientRole::start() {
+  ctx_.station->set_upper_handler(
+      [this](const frames::Frame& f, const phy::RxVector& rx) {
+        on_frame(f, rx);
+      });
+  last_activity_ = ctx_.env->now();
+}
+
+void ClientRole::on_frame(const frames::Frame& frame, const phy::RxVector&) {
+  // Every unicast frame addressed to us counts as activity: the idle
+  // timer is a *traffic* timer, and a stranger's fake frame is traffic.
+  // This single line is why the battery-drain attack works. (Broadcast
+  // beacons are exempt, or the device could never doze at all.)
+  if (frame.addr1 == ctx_.station->address()) note_activity();
+
+  if (frame.fc.is_beacon()) {
+    handle_beacon(frame);
+    return;
+  }
+  if (frame.fc.is_management()) {
+    handle_management(frame);
+    return;
+  }
+  if (frame.fc.is_data()) {
+    if (!frame.fc.protected_frame && EapolKey::is_eapol(frame.body)) {
+      if (const auto msg = EapolKey::deserialize(frame.body)) {
+        handle_eapol(*msg);
+      }
+      return;
+    }
+    handle_data(frame);
+    return;
+  }
+}
+
+void ClientRole::handle_beacon(const frames::Frame& frame) {
+  const auto beacon = frames::Beacon::from_body(frame.body);
+  if (!beacon) return;
+  const auto ssid = beacon->elements.ssid();
+  if (!ssid || *ssid != config_.ssid) return;
+
+  ++stats_.beacons_heard;
+  last_beacon_ = ctx_.env->now();
+  beacon_interval_ = microseconds(
+      static_cast<std::int64_t>(beacon->beacon_interval) * 1024);
+
+  if (phase_ == Phase::kScanning) {
+    bssid_ = frame.addr2;
+    phase_ = Phase::kAuthenticating;
+    ctx_.station->send(
+        frames::make_authentication(*bssid_, ctx_.station->address(), *bssid_,
+                                    {.algorithm = 0, .sequence = 1, .status = 0},
+                                    ctx_.station->next_sequence()),
+        config_.mgmt_rate);
+    return;
+  }
+
+  if (phase_ == Phase::kEstablished && dozing_) {
+    // We woke for this beacon: check the TIM for buffered traffic.
+    const auto tim = beacon->elements.tim();
+    bool buffered_for_us = false;
+    if (tim) {
+      for (const auto aid : tim->buffered_aids) {
+        if (aid == aid_) buffered_for_us = true;
+      }
+    }
+    if (buffered_for_us) {
+      // Come fully awake and poll.
+      dozing_ = false;
+      ++stats_.wake_transitions;
+      if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(false);
+      ctx_.station->set_dozing(false);
+      ctx_.station->send(frames::make_ps_poll(*bssid_, ctx_.station->address(),
+                                              aid_),
+                         config_.mgmt_rate);
+      ++stats_.ps_polls_sent;
+      note_activity();
+    }
+  }
+}
+
+void ClientRole::handle_management(const frames::Frame& frame) {
+  using frames::ManagementSubtype;
+  if (!bssid_ || frame.addr2 != *bssid_) return;
+
+  if (frame.fc.is_subtype(ManagementSubtype::kAuthentication) &&
+      phase_ == Phase::kAuthenticating) {
+    const auto auth = frames::Authentication::from_body(frame.body);
+    if (!auth || auth->status != 0 || auth->sequence != 2) return;
+    phase_ = Phase::kAssociating;
+    frames::AssociationRequest req;
+    req.capability.privacy = true;
+    req.listen_interval = static_cast<std::uint16_t>(config_.listen_interval);
+    req.elements.set_ssid(config_.ssid);
+    ctx_.station->send(
+        frames::make_assoc_request(*bssid_, ctx_.station->address(), req,
+                                   ctx_.station->next_sequence()),
+        config_.mgmt_rate);
+    return;
+  }
+
+  if (frame.fc.is_subtype(ManagementSubtype::kAssocResponse) &&
+      phase_ == Phase::kAssociating) {
+    const auto resp = frames::AssociationResponse::from_body(frame.body);
+    if (!resp || resp->status != 0) return;
+    aid_ = resp->aid;
+    phase_ = Phase::kHandshake;
+    return;
+  }
+
+  if (frame.fc.is_subtype(ManagementSubtype::kDeauthentication)) {
+    if (phase_ != Phase::kEstablished) return;
+    if (config_.pmf) {
+      // 802.11w: a robust-management deauth must decrypt under the PTK.
+      // A spoofed plaintext deauth — the Bellardo/Savage DoS — fails
+      // here. (The frame was still ACKed by the low-MAC, of course.)
+      frames::Frame copy = frame;
+      const bool authentic =
+          frame.fc.protected_frame && session_ && session_->unprotect(copy);
+      if (!authentic) {
+        ++stats_.spoofed_deauths_rejected;
+        return;
+      }
+    }
+    ++stats_.deauths_accepted;
+    phase_ = Phase::kScanning;
+    session_.reset();
+    bssid_.reset();
+    return;
+  }
+}
+
+void ClientRole::handle_eapol(const EapolKey& msg) {
+  if (!bssid_) return;
+
+  if (msg.message_number == 1 && phase_ == Phase::kHandshake) {
+    anonce_ = msg.nonce;
+    snonce_ = make_nonce();
+    ptk_ = config_.fast_keys
+               ? crypto::derive_fast_ptk(*bssid_, ctx_.station->address())
+               : crypto::derive_ptk(pmk_, *bssid_, ctx_.station->address(),
+                                    anonce_, snonce_);
+    EapolKey msg2;
+    msg2.message_number = 2;
+    msg2.nonce = snonce_;
+    msg2.mic = EapolKey::compute_mic(ptk_.kck, msg2);
+    ctx_.station->send(
+        frames::make_data_to_ds(*bssid_, ctx_.station->address(), *bssid_,
+                                msg2.serialize(), ctx_.station->next_sequence()),
+        config_.data_rate);
+    return;
+  }
+
+  if (msg.message_number == 3 && phase_ == Phase::kHandshake) {
+    if (!msg.verify_mic(ptk_.kck)) return;
+    EapolKey msg4;
+    msg4.message_number = 4;
+    msg4.mic = EapolKey::compute_mic(ptk_.kck, msg4);
+    ctx_.station->send(
+        frames::make_data_to_ds(*bssid_, ctx_.station->address(), *bssid_,
+                                msg4.serialize(), ctx_.station->next_sequence()),
+        config_.data_rate);
+    session_.emplace(ptk_);
+    phase_ = Phase::kEstablished;
+    if (on_associated_) on_associated_();
+    if (config_.power_save) consider_dozing();
+    return;
+  }
+}
+
+void ClientRole::handle_data(const frames::Frame& frame) {
+  if (phase_ != Phase::kEstablished || !session_) {
+    ++stats_.frames_discarded;
+    return;
+  }
+  if (frame.fc.protected_frame) {
+    frames::Frame copy = frame;
+    if (session_->unprotect(copy)) {
+      ++stats_.msdus_received;
+    } else {
+      // Fake frame (or genuine corruption). The ACK was already sent by
+      // the low-MAC a SIFS after the frame — this rejection changes
+      // nothing the attacker can observe.
+      ++stats_.decrypt_failures;
+    }
+  } else {
+    // Unprotected data inside a WPA2 link is never legitimate: this is
+    // where the attacker's null frames die — in software, hundreds of
+    // microseconds after the hardware politely ACKed them.
+    ++stats_.frames_discarded;
+  }
+  // More buffered traffic waiting at the AP? Keep polling.
+  if (frame.fc.more_data && dozing_ == false && config_.power_save && bssid_) {
+    ctx_.station->send(
+        frames::make_ps_poll(*bssid_, ctx_.station->address(), aid_),
+        config_.mgmt_rate);
+    ++stats_.ps_polls_sent;
+  }
+}
+
+void ClientRole::send_msdu(Bytes msdu) {
+  if (phase_ != Phase::kEstablished || !session_ || !bssid_) return;
+  if (dozing_) {
+    // Waking to transmit is always allowed.
+    dozing_ = false;
+    ++stats_.wake_transitions;
+    if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(false);
+    ctx_.station->set_dozing(false);
+  }
+  frames::Frame f =
+      frames::make_data_to_ds(*bssid_, ctx_.station->address(), *bssid_,
+                              std::move(msdu), ctx_.station->next_sequence());
+  session_->protect(f);
+  ctx_.station->send(std::move(f), config_.data_rate);
+  note_activity();
+}
+
+void ClientRole::install_established(const MacAddress& bssid,
+                                     std::uint16_t aid,
+                                     const crypto::Ptk& ptk) {
+  bssid_ = bssid;
+  aid_ = aid;
+  ptk_ = ptk;
+  session_.emplace(ptk);
+  phase_ = Phase::kEstablished;
+  last_activity_ = ctx_.env->now();
+  last_beacon_ = ctx_.env->now();
+  if (on_associated_) on_associated_();
+  if (config_.power_save) consider_dozing();
+}
+
+void ClientRole::set_forced_doze(bool forced) {
+  if (forced_doze_ == forced) return;
+  forced_doze_ = forced;
+  if (forced) {
+    if (idle_timer_armed_) {
+      ctx_.env->cancel(idle_timer_);
+      idle_timer_armed_ = false;
+    }
+    dozing_ = true;  // tell the AP-side bookkeeping we are unreachable
+  } else {
+    dozing_ = false;
+    last_activity_ = ctx_.env->now();
+    if (config_.power_save && phase_ == Phase::kEstablished) {
+      consider_dozing();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Power save
+// ---------------------------------------------------------------------------
+
+void ClientRole::note_activity() {
+  last_activity_ = ctx_.env->now();
+  ++stats_.activity_resets;
+  if (forced_doze_) return;  // the guard owns the radio; do not wake
+  if (!config_.power_save || phase_ != Phase::kEstablished) return;
+  if (dozing_) {
+    // Traffic arrived during a beacon wake window: the radio is on and
+    // demonstrably needed — come fully awake and restart the idle clock.
+    dozing_ = false;
+    ++stats_.wake_transitions;
+    if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(false);
+    ctx_.station->set_dozing(false);
+  }
+  consider_dozing();
+}
+
+void ClientRole::consider_dozing() {
+  if (idle_timer_armed_) {
+    ctx_.env->cancel(idle_timer_);
+    idle_timer_armed_ = false;
+  }
+  const TimePoint deadline = last_activity_ + config_.idle_timeout;
+  const Duration wait = deadline - ctx_.env->now();
+  idle_timer_armed_ = true;
+  idle_timer_ = ctx_.env->schedule(
+      wait > Duration::zero() ? wait : Duration::zero(), [this] {
+        idle_timer_armed_ = false;
+        if (dozing_ || phase_ != Phase::kEstablished) return;
+        if (ctx_.env->now() - last_activity_ >= config_.idle_timeout &&
+            ctx_.station->tx_queue_depth() == 0) {
+          enter_doze();
+        } else {
+          consider_dozing();
+        }
+      });
+}
+
+void ClientRole::enter_doze() {
+  if (forced_doze_) return;  // the guard already holds the radio down
+  if (!bssid_) return;
+  // Tell the AP we are going to sleep: a null frame with the PM bit. Sent
+  // via DCF with ACK (fire-and-forget here for simplicity of shutdown).
+  frames::Frame pm_null = frames::make_null_function(
+      *bssid_, ctx_.station->address(), ctx_.station->next_sequence());
+  pm_null.fc.power_management = true;
+  ctx_.station->transmit_now(pm_null, config_.mgmt_rate);
+
+  dozing_ = true;
+  ++stats_.doze_transitions;
+  ctx_.station->set_dozing(true);
+  if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(true);
+
+  // Wake just before the next listen-interval beacon.
+  const Duration interval = beacon_interval_ * config_.listen_interval;
+  TimePoint next_beacon = last_beacon_ + interval;
+  const TimePoint now = ctx_.env->now();
+  while (next_beacon <= now) next_beacon += interval;
+  ctx_.env->schedule(next_beacon - now - milliseconds(1),
+                     [this] { wake_for_beacon(); });
+}
+
+void ClientRole::wake_for_beacon() {
+  if (forced_doze_) return;  // guard engaged: stay down
+  if (!dozing_) return;
+  // Radio up to listen for the beacon; MAC stays "dozing" for the AP's
+  // benefit unless the TIM says otherwise (handle_beacon flips it).
+  if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(false);
+  ctx_.station->set_dozing(false);
+
+  ctx_.env->schedule(config_.beacon_wake_window, [this] {
+    if (!dozing_) return;  // TIM woke us fully
+    // Nothing buffered: back to sleep until the next listen interval.
+    ctx_.station->set_dozing(true);
+    if (ctx_.set_radio_sleep) ctx_.set_radio_sleep(true);
+    const Duration interval = beacon_interval_ * config_.listen_interval;
+    TimePoint next_beacon = last_beacon_ + interval;
+    const TimePoint now = ctx_.env->now();
+    while (next_beacon <= now) next_beacon += interval;
+    ctx_.env->schedule(next_beacon - now - milliseconds(1),
+                       [this] { wake_for_beacon(); });
+  });
+}
+
+crypto::Nonce ClientRole::make_nonce() {
+  crypto::Nonce n;
+  for (auto& b : n) b = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+  return n;
+}
+
+}  // namespace politewifi::mac

@@ -1,0 +1,58 @@
+#include "mac/eapol.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+
+namespace politewifi::mac {
+
+Bytes EapolKey::serialize() const {
+  ByteWriter w;
+  w.bytes(kEtherType);
+  w.u8(message_number);
+  w.u8(install_flag ? 1 : 0);
+  w.bytes(nonce);
+  w.bytes(mic);
+  return w.take();
+}
+
+std::optional<EapolKey> EapolKey::deserialize(
+    std::span<const std::uint8_t> body) {
+  if (!is_eapol(body)) return std::nullopt;
+  try {
+    ByteReader r(body);
+    r.bytes(kEtherType.size());
+    EapolKey m;
+    m.message_number = r.u8();
+    m.install_flag = r.u8() != 0;
+    auto nonce = r.bytes(m.nonce.size());
+    std::copy(nonce.begin(), nonce.end(), m.nonce.begin());
+    auto mic = r.bytes(m.mic.size());
+    std::copy(mic.begin(), mic.end(), m.mic.begin());
+    return m;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+bool EapolKey::is_eapol(std::span<const std::uint8_t> body) {
+  return body.size() >= 2 && body[0] == kEtherType[0] &&
+         body[1] == kEtherType[1];
+}
+
+std::array<std::uint8_t, 16> EapolKey::compute_mic(
+    const std::array<std::uint8_t, 16>& kck, const EapolKey& message) {
+  EapolKey zeroed = message;
+  zeroed.mic.fill(0);
+  const Bytes data = zeroed.serialize();
+  const auto digest = crypto::hmac_sha1(kck, data);
+  std::array<std::uint8_t, 16> mic;
+  std::copy(digest.begin(), digest.begin() + 16, mic.begin());
+  return mic;
+}
+
+bool EapolKey::verify_mic(const std::array<std::uint8_t, 16>& kck) const {
+  return compute_mic(kck, *this) == mic;
+}
+
+}  // namespace politewifi::mac

@@ -1,0 +1,42 @@
+// EAPOL-Key messages: the WPA2 4-way handshake payload.
+//
+// Modeled closely enough to exercise the real key hierarchy: ANonce and
+// SNonce travel in messages 1/2, messages 2-4 carry an HMAC-SHA1 MIC
+// keyed with the KCK, and both sides end up with the same PTK — derived
+// with the real PBKDF2/PRF code in pw_crypto. The frames ride as
+// unencrypted data frames (as real EAPOL does, since the keys don't exist
+// yet), distinguished by a magic ethertype-like tag in the body.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/byte_buffer.h"
+#include "crypto/wpa2.h"
+
+namespace politewifi::mac {
+
+struct EapolKey {
+  static constexpr std::array<std::uint8_t, 2> kEtherType{0x88, 0x8e};
+
+  std::uint8_t message_number = 1;  // 1..4
+  crypto::Nonce nonce{};            // ANonce (msg 1/3) or SNonce (msg 2)
+  std::array<std::uint8_t, 16> mic{};  // zero in message 1
+  bool install_flag = false;           // set in message 3
+
+  Bytes serialize() const;
+  static std::optional<EapolKey> deserialize(std::span<const std::uint8_t> body);
+
+  /// True if `body` starts with the EAPOL tag (cheap dispatch test).
+  static bool is_eapol(std::span<const std::uint8_t> body);
+
+  /// HMAC-SHA1-128 over the message with the MIC field zeroed.
+  static std::array<std::uint8_t, 16> compute_mic(
+      const std::array<std::uint8_t, 16>& kck, const EapolKey& message);
+
+  /// Verifies this message's MIC against `kck`.
+  bool verify_mic(const std::array<std::uint8_t, 16>& kck) const;
+};
+
+}  // namespace politewifi::mac

@@ -1,0 +1,37 @@
+// The service interface a MAC station needs from its host (radio + event
+// loop). Production code wires this to sim::Radio; unit tests provide a
+// mock, so the entire MAC state machine is testable without the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+#include "frames/frame.h"
+#include "phy/signal.h"
+
+namespace politewifi::mac {
+
+class MacEnvironment {
+ public:
+  virtual ~MacEnvironment() = default;
+
+  /// Current simulation time.
+  virtual TimePoint now() const = 0;
+
+  /// One-shot timer; returns a cancellation handle.
+  virtual std::uint64_t schedule(Duration delay, std::function<void()> fn) = 0;
+  virtual void cancel(std::uint64_t timer_id) = 0;
+
+  /// Hands a frame to the PHY for immediate transmission. The PHY/medium
+  /// handles serialization, airtime and delivery; a transmission started
+  /// while another station is mid-air simply collides — exactly like the
+  /// real thing.
+  virtual void transmit(const frames::Frame& frame,
+                        const phy::TxVector& tx) = 0;
+
+  /// Carrier sense: is energy detectable on the channel right now?
+  virtual bool medium_busy() const = 0;
+};
+
+}  // namespace politewifi::mac

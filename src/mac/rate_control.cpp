@@ -1,0 +1,33 @@
+#include "mac/rate_control.h"
+
+#include <algorithm>
+
+namespace politewifi::mac {
+
+ArfRateController::ArfRateController(ArfConfig config)
+    : config_(config),
+      index_(std::clamp(config.initial_index, 0,
+                        int(kLadder.size()) - 1)) {}
+
+void ArfRateController::on_success() {
+  failure_streak_ = 0;
+  probing_ = false;
+  if (++success_streak_ >= config_.up_after &&
+      index_ + 1 < int(kLadder.size())) {
+    ++index_;
+    success_streak_ = 0;
+    probing_ = true;  // a failure right after the probe reverts it
+  }
+}
+
+void ArfRateController::on_failure() {
+  success_streak_ = 0;
+  const int drop_after = probing_ ? 1 : config_.down_after;
+  if (++failure_streak_ >= drop_after && index_ > 0) {
+    --index_;
+    failure_streak_ = 0;
+  }
+  probing_ = false;
+}
+
+}  // namespace politewifi::mac

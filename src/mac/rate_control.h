@@ -1,0 +1,50 @@
+// Automatic Rate Fallback (ARF) — classic 802.11 rate adaptation.
+//
+// Production MACs pick their data rate from recent ACK history: climb
+// the rate ladder after a streak of successes, fall after consecutive
+// failures. Matters here because it changes frame airtimes (and thus
+// attack economics), and because survey victims at the edge of range
+// should degrade the way real devices do.
+#pragma once
+
+#include <array>
+
+#include "phy/rates.h"
+
+namespace politewifi::mac {
+
+struct ArfConfig {
+  /// Consecutive successes before probing one rate up.
+  int up_after = 10;
+  /// Consecutive failures before stepping one rate down.
+  int down_after = 2;
+  /// Starting rung on the legacy OFDM ladder (index, 0 = 6 Mb/s).
+  int initial_index = 4;  // 24 Mb/s
+};
+
+class ArfRateController {
+ public:
+  explicit ArfRateController(ArfConfig config);
+  ArfRateController() : ArfRateController(ArfConfig{}) {}
+
+  phy::PhyRate current() const { return kLadder[std::size_t(index_)]; }
+  int ladder_index() const { return index_; }
+
+  /// Feed one transmission outcome (an ACKed frame / a retry-exhausted
+  /// failure or per-attempt timeout).
+  void on_success();
+  void on_failure();
+
+  static constexpr std::array<phy::PhyRate, 8> kLadder = {
+      phy::kOfdm6,  phy::kOfdm9,  phy::kOfdm12, phy::kOfdm18,
+      phy::kOfdm24, phy::kOfdm36, phy::kOfdm48, phy::kOfdm54};
+
+ private:
+  ArfConfig config_;
+  int index_;
+  int success_streak_ = 0;
+  int failure_streak_ = 0;
+  bool probing_ = false;  // just moved up: one failure drops us back
+};
+
+}  // namespace politewifi::mac

@@ -1,0 +1,22 @@
+// Shared context handed to the AP/client upper-MAC roles.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "mac/station.h"
+
+namespace politewifi::mac {
+
+/// What a role (AP or client MLME) needs from its host device.
+struct RoleContext {
+  Station* station = nullptr;
+  MacEnvironment* env = nullptr;
+  /// Puts the radio into (true) or out of (false) doze. Null when the host
+  /// has no power management (mains-powered AP, unit tests).
+  std::function<void(bool)> set_radio_sleep;
+  /// Role-private randomness (nonces, jitter).
+  Rng rng{0x9e3779b9};
+};
+
+}  // namespace politewifi::mac

@@ -1,0 +1,54 @@
+#include "phy/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace politewifi::phy {
+
+namespace {
+
+double qfunc(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+/// BPSK/QPSK/M-QAM BER approximations over AWGN, Eb/N0 derived from
+/// SNR and the rate's bits/subcarrier-symbol density.
+double ber_for(double snr_linear, double bits_per_subcarrier) {
+  if (bits_per_subcarrier <= 1.0) {
+    return qfunc(std::sqrt(2.0 * snr_linear));  // BPSK
+  }
+  if (bits_per_subcarrier <= 2.0) {
+    return qfunc(std::sqrt(snr_linear));  // QPSK per-bit
+  }
+  // Square M-QAM approximation.
+  const double m = std::pow(2.0, bits_per_subcarrier);
+  const double arg = std::sqrt(3.0 * snr_linear / (m - 1.0));
+  return 4.0 / bits_per_subcarrier * (1.0 - 1.0 / std::sqrt(m)) * qfunc(arg);
+}
+
+}  // namespace
+
+double bit_error_rate(PhyRate rate, double snr_db) {
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  double bits_per_subcarrier;
+  if (rate.modulation == Modulation::kDsss) {
+    // DSSS enjoys ~10.4 dB of spreading gain at 1 Mb/s.
+    const double gain = 11.0 / rate.mbps;
+    return qfunc(std::sqrt(2.0 * snr * gain));
+  }
+  // OFDM: NDBPS / 48 data subcarriers / coding rate folded into a single
+  // effective bits-per-subcarrier density.
+  bits_per_subcarrier = rate.bits_per_symbol / 48.0;
+  double ber = ber_for(snr, bits_per_subcarrier);
+  // Convolutional coding gain: rough 4 dB equivalent expressed as a
+  // power-law improvement of raw BER.
+  ber = std::pow(std::clamp(ber, 1e-12, 0.5), 1.35);
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double frame_error_rate(PhyRate rate, double snr_db, std::size_t mpdu_octets) {
+  const double ber = bit_error_rate(rate, snr_db);
+  const double bits = 8.0 * double(mpdu_octets);
+  const double fer = 1.0 - std::pow(1.0 - ber, bits);
+  return std::clamp(fer, 0.0, 1.0);
+}
+
+}  // namespace politewifi::phy

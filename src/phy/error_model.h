@@ -1,0 +1,27 @@
+// SNR -> frame error rate.
+//
+// A coarse but standard model: per-modulation BER curves (AWGN
+// approximations) composed into an FER over the MPDU length. It is enough
+// to make marginal links lose frames, trigger the real retransmission
+// machinery, and let the wardriving survey see range effects.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/rates.h"
+
+namespace politewifi::phy {
+
+/// Bit error rate at the given SNR (dB, per-symbol ES/N0 approximation)
+/// for the modulation underlying `rate`.
+double bit_error_rate(PhyRate rate, double snr_db);
+
+/// Frame error rate for `mpdu_octets` at `rate` and `snr_db`:
+/// 1 - (1 - BER)^(8 * octets).
+double frame_error_rate(PhyRate rate, double snr_db, std::size_t mpdu_octets);
+
+/// Receive sensitivity: below this SNR the preamble is undetectable and
+/// the frame is not received at all (as opposed to received-with-errors).
+constexpr double kPreambleDetectSnrDb = 1.0;
+
+}  // namespace politewifi::phy

@@ -1,0 +1,47 @@
+#include "phy/rates.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace politewifi::phy {
+
+std::string PhyRate::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s %.1f Mb/s",
+                modulation == Modulation::kOfdm ? "OFDM" : "DSSS", mbps);
+  return buf;
+}
+
+Duration ppdu_airtime(PhyRate rate, std::size_t mpdu_octets) {
+  switch (rate.modulation) {
+    case Modulation::kOfdm: {
+      constexpr double kPreambleUs = 16.0;  // L-STF + L-LTF
+      constexpr double kSignalUs = 4.0;     // L-SIG
+      constexpr double kSymbolUs = 4.0;
+      // SERVICE (16 bits) + PSDU + TAIL (6 bits), padded to whole symbols.
+      const double bits = 16.0 + 8.0 * double(mpdu_octets) + 6.0;
+      const double symbols = std::ceil(bits / rate.bits_per_symbol);
+      const double us = kPreambleUs + kSignalUs + symbols * kSymbolUs;
+      return std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double, std::micro>(us));
+    }
+    case Modulation::kDsss: {
+      constexpr double kLongPreambleUs = 192.0;  // PLCP preamble + header
+      const double us = kLongPreambleUs + 8.0 * double(mpdu_octets) / rate.mbps;
+      return std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double, std::micro>(us));
+    }
+  }
+  return Duration::zero();
+}
+
+PhyRate control_response_rate(PhyRate rate) {
+  if (rate.modulation == Modulation::kDsss) {
+    return rate.mbps >= 2.0 ? kDsss2 : kDsss1;
+  }
+  if (rate.mbps >= 24.0) return kOfdm24;
+  if (rate.mbps >= 12.0) return kOfdm12;
+  return kOfdm6;
+}
+
+}  // namespace politewifi::phy

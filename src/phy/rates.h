@@ -1,0 +1,61 @@
+// PHY rates and airtime.
+//
+// The simulator carries every MPDU at a concrete PHY rate and computes its
+// exact on-air duration. Control responses (ACK/CTS) are sent at legacy
+// OFDM basic rates — the paper's footnote 3 leans on exactly this fact
+// (the ESP32 is used *because* ACKs arrive at legacy 802.11a/g rates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "phy/channel.h"
+
+namespace politewifi::phy {
+
+/// Modulation family — determines preamble format and symbol math.
+enum class Modulation : std::uint8_t {
+  kDsss,  // 802.11b heritage: 1, 2, 5.5, 11 Mb/s
+  kOfdm,  // 802.11a/g legacy OFDM: 6..54 Mb/s
+};
+
+/// A concrete PHY rate.
+struct PhyRate {
+  Modulation modulation = Modulation::kOfdm;
+  double mbps = 6.0;           // information rate
+  int bits_per_symbol = 24;    // OFDM: data bits per 4 us symbol (NDBPS)
+
+  friend constexpr bool operator==(const PhyRate&, const PhyRate&) = default;
+
+  std::string name() const;
+};
+
+// Legacy OFDM rate set (802.11a/g). NDBPS from 802.11-2016 Table 17-4.
+constexpr PhyRate kOfdm6{Modulation::kOfdm, 6.0, 24};
+constexpr PhyRate kOfdm9{Modulation::kOfdm, 9.0, 36};
+constexpr PhyRate kOfdm12{Modulation::kOfdm, 12.0, 48};
+constexpr PhyRate kOfdm18{Modulation::kOfdm, 18.0, 72};
+constexpr PhyRate kOfdm24{Modulation::kOfdm, 24.0, 96};
+constexpr PhyRate kOfdm36{Modulation::kOfdm, 36.0, 144};
+constexpr PhyRate kOfdm48{Modulation::kOfdm, 48.0, 192};
+constexpr PhyRate kOfdm54{Modulation::kOfdm, 54.0, 216};
+
+// DSSS rates (2.4 GHz only).
+constexpr PhyRate kDsss1{Modulation::kDsss, 1.0, 0};
+constexpr PhyRate kDsss2{Modulation::kDsss, 2.0, 0};
+constexpr PhyRate kDsss11{Modulation::kDsss, 11.0, 0};
+
+/// On-air duration of a PPDU carrying `mpdu_octets` at `rate`.
+///
+/// OFDM (§17.3.2.4): 20 us preamble+header (L-STF 8 + L-LTF 8 + L-SIG 4)
+/// then ceil((16 + 8*octets + 6) / NDBPS) symbols of 4 us.
+/// DSSS: 192 us long preamble + PSDU at the information rate.
+Duration ppdu_airtime(PhyRate rate, std::size_t mpdu_octets);
+
+/// The mandatory control-response rate for a frame received at `rate`:
+/// the highest basic rate less than or equal to it (§10.6.6.5). We model
+/// the common basic-rate set {6, 12, 24} Mb/s (OFDM) and {1, 2} (DSSS).
+PhyRate control_response_rate(PhyRate rate);
+
+}  // namespace politewifi::phy

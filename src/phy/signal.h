@@ -1,0 +1,28 @@
+// TX/RX vectors: the per-PPDU metadata handed across the PHY SAP.
+#pragma once
+
+#include <optional>
+
+#include "phy/csi.h"
+#include "phy/rates.h"
+
+namespace politewifi::phy {
+
+/// Parameters the MAC passes down with a frame to transmit.
+struct TxVector {
+  PhyRate rate = kOfdm6;
+  double power_dbm = 15.0;  // typical client EIRP
+
+  friend bool operator==(const TxVector&, const TxVector&) = default;
+};
+
+/// Parameters the PHY passes up with every received frame. The CSI field
+/// is what the paper's attacker harvests from ACKs.
+struct RxVector {
+  PhyRate rate = kOfdm6;
+  double rssi_dbm = -90.0;
+  double snr_db = 0.0;
+  std::optional<CsiSnapshot> csi;  // set when the receiver captures CSI
+};
+
+}  // namespace politewifi::phy

@@ -1,0 +1,14 @@
+#include "phy/timing.h"
+
+#include <cmath>
+
+namespace politewifi::phy {
+
+std::uint16_t nav_for_ack(Band band, PhyRate ack_rate) {
+  constexpr std::size_t kAckOctets = 14;
+  const Duration total = sifs(band) + ppdu_airtime(ack_rate, kAckOctets);
+  const double us = to_microseconds(total);
+  return static_cast<std::uint16_t>(std::ceil(us));
+}
+
+}  // namespace politewifi::phy

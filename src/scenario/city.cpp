@@ -1,0 +1,120 @@
+#include "scenario/city.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace politewifi::scenario {
+
+namespace {
+
+int scaled_count(int count, double scale) {
+  if (scale >= 1.0) return count;
+  return std::max(1, int(std::lround(count * scale)));
+}
+
+}  // namespace
+
+std::vector<Position> CityPlan::grid_route(int blocks, double block_m) {
+  // Boustrophedon sweep over a blocks x blocks grid.
+  std::vector<Position> route;
+  for (int row = 0; row <= blocks; ++row) {
+    const double y = row * block_m;
+    if (row % 2 == 0) {
+      route.push_back({0.0, y});
+      route.push_back({blocks * block_m, y});
+    } else {
+      route.push_back({blocks * block_m, y});
+      route.push_back({0.0, y});
+    }
+  }
+  return route;
+}
+
+CityPlan::CityPlan(std::vector<Position> route, CityConfig config)
+    : route_(std::move(route)) {
+  for (std::size_t i = 1; i < route_.size(); ++i) {
+    route_length_ += distance(route_[i - 1], route_[i]);
+  }
+
+  Rng rng(config.seed);
+  const auto& db = OuiDatabase::instance();
+
+  // APs first (clients attach to them).
+  for (const auto& vc : table2_full_ap_census()) {
+    const int n = scaled_count(vc.count, config.scale);
+    for (int i = 0; i < n; ++i) {
+      CityDeviceSpec spec;
+      spec.vendor = vc.vendor;
+      spec.mac = db.make_address(vc.vendor, rng);
+      spec.is_ap = true;
+      spec.channel = config.channels[static_cast<std::size_t>(
+          rng.uniform_int(0, std::int64_t(config.channels.size()) - 1))];
+      spec.position = point_along_route(rng.uniform(0.0, route_length_),
+                                        rng.uniform(-config.max_offset_m,
+                                                    config.max_offset_m),
+                                        rng);
+      devices_.push_back(std::move(spec));
+    }
+  }
+  ap_count_ = devices_.size();
+
+  for (const auto& vc : table2_full_client_census()) {
+    const int n = scaled_count(vc.count, config.scale);
+    for (int i = 0; i < n; ++i) {
+      CityDeviceSpec spec;
+      spec.vendor = vc.vendor;
+      if (rng.bernoulli(config.randomized_mac_fraction)) {
+        // Randomized MAC: locally-administered bit set, unicast.
+        spec.mac = MacAddress{
+            static_cast<std::uint8_t>(
+                (std::uint8_t(rng.uniform_int(0, 255)) | 0x02) & ~0x01),
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255))};
+      } else {
+        spec.mac = db.make_address(vc.vendor, rng);
+      }
+      spec.is_ap = false;
+      spec.position = point_along_route(rng.uniform(0.0, route_length_),
+                                        rng.uniform(-config.max_offset_m,
+                                                    config.max_offset_m),
+                                        rng);
+      // Attach to the nearest AP in range, if any; operate on its channel.
+      double best = config.client_attach_range_m;
+      spec.channel = config.channels[static_cast<std::size_t>(
+          rng.uniform_int(0, std::int64_t(config.channels.size()) - 1))];
+      for (std::size_t a = 0; a < ap_count_; ++a) {
+        const double d = distance(devices_[a].position, spec.position);
+        if (d < best) {
+          best = d;
+          spec.home_ap = devices_[a].mac;
+          spec.channel = devices_[a].channel;
+        }
+      }
+      devices_.push_back(std::move(spec));
+    }
+  }
+}
+
+Position CityPlan::point_along_route(double s, double lateral,
+                                     Rng& rng) const {
+  (void)rng;
+  double remaining = std::clamp(s, 0.0, route_length_);
+  for (std::size_t i = 1; i < route_.size(); ++i) {
+    const double seg = distance(route_[i - 1], route_[i]);
+    if (seg <= 0.0) continue;
+    if (remaining <= seg) {
+      const double dx = (route_[i].x - route_[i - 1].x) / seg;
+      const double dy = (route_[i].y - route_[i - 1].y) / seg;
+      // Perpendicular offset.
+      return Position{route_[i - 1].x + dx * remaining - dy * lateral,
+                      route_[i - 1].y + dy * remaining + dx * lateral};
+    }
+    remaining -= seg;
+  }
+  return route_.empty() ? Position{} : route_.back();
+}
+
+}  // namespace politewifi::scenario

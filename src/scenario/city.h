@@ -1,0 +1,76 @@
+// City population generator for the §3 wardriving survey.
+//
+// Lays out APs and client devices along a drive route with the exact
+// vendor census of Table 2. The plan is pure data; core::WardriveCampaign
+// instantiates simulator devices from it and manages which are "live"
+// (within radio range of the vehicle) as the drive progresses.
+#pragma once
+
+#include <vector>
+
+#include "common/mac_address.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "scenario/oui_db.h"
+
+namespace politewifi::scenario {
+
+struct CityDeviceSpec {
+  MacAddress mac;
+  std::string vendor;
+  bool is_ap = false;
+  Position position{};
+  /// For clients: the AP they exchange traffic with (zero when the client
+  /// is idle-roaming, e.g. a phone probing).
+  MacAddress home_ap{};
+  /// Operating channel (clients follow their home AP).
+  int channel = 6;
+};
+
+struct CityConfig {
+  /// Population scale factor: 1.0 generates the paper's full census
+  /// (1,523 clients + 3,805 APs); smaller factors subsample each vendor
+  /// proportionally (minimum 1 device per vendor) for quick runs.
+  double scale = 1.0;
+  /// Lateral spread of devices around the route (houses along streets).
+  double max_offset_m = 100.0;
+  /// Clients attach to the nearest AP within this range.
+  double client_attach_range_m = 60.0;
+  /// Channels APs are deployed on. A single-channel city ({6}) matches a
+  /// fixed-channel survey rig; {1, 6, 11} is the realistic 2.4 GHz mix
+  /// and requires a hopping rig (WardriveConfig::hop_channels).
+  std::vector<int> channels{6};
+  /// Fraction of client devices using randomized (locally-administered)
+  /// MAC addresses, as modern phones do while unassociated. These have
+  /// no resolvable OUI and surface as vendor-unknown in the survey.
+  double randomized_mac_fraction = 0.0;
+  std::uint64_t seed = 2020;
+};
+
+class CityPlan {
+ public:
+  /// `route` is the survey vehicle's polyline. Devices are scattered
+  /// uniformly along its length with lateral offsets.
+  CityPlan(std::vector<Position> route, CityConfig config);
+
+  const std::vector<CityDeviceSpec>& devices() const { return devices_; }
+  const std::vector<Position>& route() const { return route_; }
+  double route_length_m() const { return route_length_; }
+
+  std::size_t ap_count() const { return ap_count_; }
+  std::size_t client_count() const { return devices_.size() - ap_count_; }
+
+  /// A rectangular grid route of `blocks` x `blocks` city blocks of
+  /// `block_m` metres (boustrophedon sweep) — a plausible 1-hour drive.
+  static std::vector<Position> grid_route(int blocks, double block_m);
+
+ private:
+  Position point_along_route(double s, double lateral, Rng& rng) const;
+
+  std::vector<Position> route_;
+  double route_length_ = 0.0;
+  std::vector<CityDeviceSpec> devices_;
+  std::size_t ap_count_ = 0;
+};
+
+}  // namespace politewifi::scenario

@@ -1,0 +1,68 @@
+#include "scenario/sensing_scene.h"
+
+#include <map>
+#include <memory>
+
+namespace politewifi::scenario {
+
+void install_body_csi(sim::Medium& medium, const sim::Radio& victim,
+                      const sim::Radio& attacker,
+                      const BodyMotionModel* model, TimePoint script_start,
+                      SensingSceneConfig config) {
+  // Static geometry of the link, fixed at install time (both devices are
+  // stationary in the sensing experiments; the *person* moves).
+  Rng setup_rng(config.seed);
+  const double d = distance(victim.position(), attacker.position());
+  auto statics = std::make_shared<phy::PathSet>(
+      phy::make_static_paths(d, config.static_reflections, setup_rng));
+  auto noise_rng = std::make_shared<Rng>(config.seed ^ 0xC51);
+
+  const sim::Radio* victim_ptr = &victim;
+  const sim::Radio* attacker_ptr = &attacker;
+  const double noise = config.csi_noise;
+
+  medium.set_csi_provider(
+      [=](const sim::Radio& tx, const sim::Radio& rx,
+          TimePoint now) -> std::optional<phy::CsiSnapshot> {
+        if (&tx != victim_ptr || &rx != attacker_ptr) return std::nullopt;
+        const phy::PathSet dynamic = model->paths_at(now - script_start);
+        return phy::evaluate_csi(tx.frequency_hz(), *statics, dynamic, noise,
+                                 *noise_rng, now);
+      });
+}
+
+void install_body_csi_multi(sim::Medium& medium,
+                            const std::vector<SensedLink>& links,
+                            const sim::Radio& attacker,
+                            TimePoint script_start,
+                            SensingSceneConfig config) {
+  struct LinkState {
+    const BodyMotionModel* model;
+    phy::PathSet statics;
+  };
+  auto states = std::make_shared<std::map<const sim::Radio*, LinkState>>();
+  Rng setup_rng(config.seed);
+  for (const auto& link : links) {
+    const double d = distance(link.victim->position(), attacker.position());
+    (*states)[link.victim] = LinkState{
+        link.model,
+        phy::make_static_paths(d, config.static_reflections, setup_rng)};
+  }
+  auto noise_rng = std::make_shared<Rng>(config.seed ^ 0xC52);
+  const sim::Radio* attacker_ptr = &attacker;
+  const double noise = config.csi_noise;
+
+  medium.set_csi_provider(
+      [=](const sim::Radio& tx, const sim::Radio& rx,
+          TimePoint now) -> std::optional<phy::CsiSnapshot> {
+        if (&rx != attacker_ptr) return std::nullopt;
+        const auto it = states->find(&tx);
+        if (it == states->end()) return std::nullopt;
+        const phy::PathSet dynamic =
+            it->second.model->paths_at(now - script_start);
+        return phy::evaluate_csi(tx.frequency_hz(), it->second.statics,
+                                 dynamic, noise, *noise_rng, now);
+      });
+}
+
+}  // namespace politewifi::scenario

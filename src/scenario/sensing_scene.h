@@ -1,0 +1,42 @@
+// Wires a BodyMotionModel into the medium's per-link CSI so the CSI the
+// attacker harvests from the victim's ACKs reflects the scripted human
+// activity — the Figure 5 scene.
+#pragma once
+
+#include "scenario/body_motion.h"
+#include "sim/medium.h"
+#include "sim/radio.h"
+
+namespace politewifi::scenario {
+
+struct SensingSceneConfig {
+  /// CSI estimation noise per subcarrier (std of the complex components).
+  double csi_noise = 0.01;
+  int static_reflections = 4;
+  std::uint64_t seed = 1234;
+};
+
+/// Installs a CSI provider on `medium` that models the victim->attacker
+/// link as static multipath plus the model's dynamic body paths. Script
+/// time 0 is `script_start`. Other links fall back to the medium default.
+///
+/// The returned model pointer must outlive the medium's provider; the
+/// caller keeps ownership of `model`.
+void install_body_csi(sim::Medium& medium, const sim::Radio& victim,
+                      const sim::Radio& attacker,
+                      const BodyMotionModel* model, TimePoint script_start,
+                      SensingSceneConfig config = SensingSceneConfig{});
+
+/// Multi-victim variant (§4.3: an IoT hub sensing several unmodified
+/// neighbours): each victim link gets its own motion model.
+struct SensedLink {
+  const sim::Radio* victim = nullptr;
+  const BodyMotionModel* model = nullptr;
+};
+void install_body_csi_multi(sim::Medium& medium,
+                            const std::vector<SensedLink>& links,
+                            const sim::Radio& attacker,
+                            TimePoint script_start,
+                            SensingSceneConfig config = SensingSceneConfig{});
+
+}  // namespace politewifi::scenario

@@ -1,0 +1,67 @@
+#include "scenario/typing_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace politewifi::scenario {
+
+int key_row(char key) {
+  const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(key)));
+  if (c == ' ') return 0;
+  static constexpr const char* kRows[] = {
+      "zxcvbnm,./",   // row 1
+      "asdfghjkl;'",  // row 2 (home)
+      "qwertyuiop",   // row 3
+      "1234567890",   // row 4 (numbers)
+  };
+  for (int r = 0; r < 4; ++r) {
+    for (const char* p = kRows[r]; *p != '\0'; ++p) {
+      if (*p == c) return r + 1;
+    }
+  }
+  return 2;  // unknown characters behave like home row
+}
+
+double keystroke_depth_m(char key) {
+  // Space bar involves the thumb + wrist (largest motion); reaching away
+  // from the home row adds travel.
+  const int row = key_row(key);
+  switch (row) {
+    case 0: return 0.038;  // space
+    case 1: return 0.024;  // bottom row
+    case 2: return 0.020;  // home row
+    case 3: return 0.028;  // top row
+    default: return 0.034; // number row
+  }
+}
+
+Duration keystroke_width(char key) {
+  // Farther reaches take a little longer.
+  const int row = key_row(key);
+  const double ms = 40.0 + 8.0 * std::abs(row - 2);
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+std::vector<Keystroke> TypingModel::generate(const std::string& text,
+                                             const Config& config) {
+  // Mean inter-key interval from WPM (the usual 5 chars/word convention).
+  const double keys_per_second = config.words_per_minute * 5.0 / 60.0;
+  const double mean_gap_s = 1.0 / std::max(keys_per_second, 0.1);
+
+  Rng rng(config.seed);
+  std::vector<Keystroke> strokes;
+  strokes.reserve(text.size());
+  double t = mean_gap_s;  // settle-in before the first key
+  for (const char key : text) {
+    strokes.push_back(Keystroke{from_seconds(t), key});
+    double gap = rng.gaussian(mean_gap_s, mean_gap_s * config.timing_jitter);
+    gap = std::clamp(gap, 0.3 * mean_gap_s, 3.0 * mean_gap_s);
+    // Word boundaries get a thinking pause.
+    if (key == ' ') gap *= 1.5;
+    t += gap;
+  }
+  return strokes;
+}
+
+}  // namespace politewifi::scenario

@@ -1,0 +1,50 @@
+// Keystroke workload generator.
+//
+// WindTalker-class attacks (the paper's §4.1 example) work because each
+// keystroke moves the hand/fingers along a key-specific trajectory,
+// modulating nearby multipath. We model a keystroke as a transient bump
+// in the dynamic scatterer's excess path length whose depth depends on
+// the keyboard row (reaching to the number row moves more tissue than a
+// home-row tap). That gives the sensing pipeline real, recoverable
+// structure without overclaiming single-key resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace politewifi::scenario {
+
+struct Keystroke {
+  Duration at{};   // time of peak finger deflection (script-relative)
+  char key = ' ';
+
+  friend bool operator==(const Keystroke&, const Keystroke&) = default;
+};
+
+/// Keyboard row of a character, 0 = space row .. 4 = number row.
+int key_row(char key);
+
+/// Peak excess-path deflection (meters) of a keystroke: row-dependent,
+/// ~2-3.8 cm — fractions of a wavelength, i.e. clearly visible in CSI.
+double keystroke_depth_m(char key);
+
+/// Duration of the finger's travel (bump width, 1 sigma).
+Duration keystroke_width(char key);
+
+class TypingModel {
+ public:
+  struct Config {
+    double words_per_minute = 35.0;
+    double timing_jitter = 0.25;  // relative sigma on inter-key gaps
+    std::uint64_t seed = 7;
+  };
+
+  /// Expands `text` into timed keystrokes starting at t = 0.
+  static std::vector<Keystroke> generate(const std::string& text,
+                                         const Config& config);
+};
+
+}  // namespace politewifi::scenario

@@ -1,0 +1,121 @@
+#include "sensing/activity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace politewifi::sensing {
+
+const char* motion_class_name(MotionClass c) {
+  switch (c) {
+    case MotionClass::kStill: return "still";
+    case MotionClass::kMinor: return "minor-motion";
+    case MotionClass::kBursty: return "bursty-motion";
+    case MotionClass::kMajor: return "major-motion";
+  }
+  return "?";
+}
+
+ActivityDetector::ActivityDetector(ActivityDetectorConfig config)
+    : config_(config) {}
+
+double ActivityDetector::noise_floor(
+    const std::vector<double>& deviation) const {
+  if (deviation.empty()) return 0.0;
+  std::vector<double> sorted = deviation;
+  std::sort(sorted.begin(), sorted.end());
+  // Mean of the quietest decile: robust to any amount of motion as long
+  // as the trace contains *some* quiet time.
+  const std::size_t n = std::max<std::size_t>(1, sorted.size() / 10);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += sorted[i];
+  const double floor = sum / double(n);
+  return std::max(floor, 1e-9);
+}
+
+std::vector<MotionClass> ActivityDetector::classify_samples(
+    const TimeSeries& amplitude) const {
+  std::vector<MotionClass> out(amplitude.size(), MotionClass::kStill);
+  if (amplitude.size() < 4 || amplitude.dt_s <= 0.0) return out;
+
+  const int w =
+      std::max(3, int(std::lround(config_.window_s / amplitude.dt_s)));
+  const auto dev = moving_stddev(amplitude.v, w);
+  const double floor = noise_floor(dev);
+  const double minor = config_.minor_factor * floor;
+  const double major = config_.major_factor * floor;
+
+  // Burstiness over a longer horizon: duty cycle of above-minor samples.
+  const int wide = 3 * w;
+  std::vector<double> above(dev.size(), 0.0);
+  for (std::size_t i = 0; i < dev.size(); ++i) {
+    above[i] = dev[i] > minor ? 1.0 : 0.0;
+  }
+  const auto duty = moving_average(above, wide);
+
+  for (std::size_t i = 0; i < dev.size(); ++i) {
+    if (dev[i] > major) {
+      out[i] = MotionClass::kMajor;
+    } else if (dev[i] > minor) {
+      out[i] = duty[i] <= config_.bursty_duty_max ? MotionClass::kBursty
+                                                  : MotionClass::kMinor;
+    } else {
+      out[i] = MotionClass::kStill;
+    }
+  }
+  return out;
+}
+
+std::vector<Segment> ActivityDetector::segment(
+    const TimeSeries& amplitude) const {
+  std::vector<Segment> segments;
+  const auto labels = classify_samples(amplitude);
+  if (labels.empty()) return segments;
+
+  // Run-length encode.
+  Segment current{labels.front(), amplitude.time_of(0), amplitude.time_of(0)};
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    if (labels[i] != current.cls) {
+      current.end_s = amplitude.time_of(i);
+      segments.push_back(current);
+      current = Segment{labels[i], amplitude.time_of(i), amplitude.time_of(i)};
+    }
+  }
+  current.end_s = amplitude.time_of(labels.size() - 1) + amplitude.dt_s;
+  segments.push_back(current);
+
+  // Merge runs shorter than min_segment_s into their predecessor.
+  std::vector<Segment> merged;
+  for (const auto& s : segments) {
+    if (!merged.empty() && s.end_s - s.start_s < config_.min_segment_s) {
+      merged.back().end_s = s.end_s;
+    } else if (!merged.empty() && merged.back().cls == s.cls) {
+      merged.back().end_s = s.end_s;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+std::vector<double> ActivityDetector::motion_events(
+    const TimeSeries& amplitude) const {
+  std::vector<double> events;
+  if (amplitude.size() < 4 || amplitude.dt_s <= 0.0) return events;
+  const int w =
+      std::max(3, int(std::lround(config_.window_s / amplitude.dt_s)));
+  const auto dev = moving_stddev(amplitude.v, w);
+  const double threshold = config_.major_factor * noise_floor(dev);
+
+  bool in_event = false;
+  for (std::size_t i = 0; i < dev.size(); ++i) {
+    if (!in_event && dev[i] > threshold) {
+      events.push_back(amplitude.time_of(i));
+      in_event = true;
+    } else if (in_event && dev[i] < 0.5 * threshold) {
+      in_event = false;
+    }
+  }
+  return events;
+}
+
+}  // namespace politewifi::sensing

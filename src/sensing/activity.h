@@ -1,0 +1,70 @@
+// Activity segmentation — the Figure 5 analysis.
+//
+// The paper's observation: on a quiet channel the CSI amplitude of a
+// still device is "very stable"; picking the device up produces "large
+// fluctuations"; holding and typing produce "very distinct" patterns.
+// We operationalize that with windowed deviation thresholds (relative to
+// a robust noise floor) and classify each window into still / minor
+// motion (hold) / bursty motion (typing) / major motion (pickup).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensing/features.h"
+#include "sensing/filters.h"
+
+namespace politewifi::sensing {
+
+enum class MotionClass : std::uint8_t {
+  kStill,       // deviation at the noise floor
+  kMinor,       // small sustained motion (holding)
+  kBursty,      // intermittent cm-scale events (typing)
+  kMajor,       // large sweeps (pickup, walking)
+};
+
+const char* motion_class_name(MotionClass c);
+
+struct Segment {
+  MotionClass cls = MotionClass::kStill;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct ActivityDetectorConfig {
+  /// Window for the deviation feature, seconds.
+  double window_s = 0.8;
+  /// Thresholds as multiples of the still-noise deviation floor.
+  double minor_factor = 3.0;
+  double major_factor = 20.0;
+  /// Burstiness: fraction of sub-windows above the minor threshold that
+  /// still counts as intermittent rather than sustained.
+  double bursty_duty_max = 0.65;
+  /// Minimum segment length, seconds (shorter runs are merged).
+  double min_segment_s = 1.0;
+};
+
+class ActivityDetector {
+ public:
+  explicit ActivityDetector(ActivityDetectorConfig config);
+  ActivityDetector() : ActivityDetector(ActivityDetectorConfig{}) {}
+
+  /// Segments an amplitude series. The noise floor is estimated from the
+  /// quietest decile of windowed deviations, so no calibration pass is
+  /// needed.
+  std::vector<Segment> segment(const TimeSeries& amplitude) const;
+
+  /// Per-sample class labels (same length as input).
+  std::vector<MotionClass> classify_samples(const TimeSeries& amplitude) const;
+
+  /// Motion events: times where the deviation crosses the major
+  /// threshold — the paper's "sharp changes at times 9 and 32" (§4.3).
+  std::vector<double> motion_events(const TimeSeries& amplitude) const;
+
+ private:
+  double noise_floor(const std::vector<double>& deviation) const;
+
+  ActivityDetectorConfig config_;
+};
+
+}  // namespace politewifi::sensing

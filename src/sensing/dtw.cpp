@@ -1,0 +1,64 @@
+#include "sensing/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sensing/series.h"
+
+namespace politewifi::sensing {
+
+double dtw_distance(const std::vector<double>& a,
+                    const std::vector<double>& b, int band) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // Two-row dynamic program.
+  std::vector<double> prev(m + 1, inf), curr(m + 1, inf);
+  prev[0] = 0.0;
+
+  const int effective_band =
+      band <= 0 ? int(std::max(n, m)) : std::max(band, int(std::max(n, m)) -
+                                                            int(std::min(n, m)));
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    const std::size_t j_lo =
+        i > std::size_t(effective_band) ? i - effective_band : 1;
+    const std::size_t j_hi = std::min(m, i + std::size_t(effective_band));
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+int dtw_classify(const std::vector<double>& query,
+                 const std::vector<std::vector<double>>& templates,
+                 int band) {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    const double d = dtw_distance(query, templates[i], band);
+    if (d < best_d) {
+      best_d = d;
+      best = int(i);
+    }
+  }
+  return best;
+}
+
+std::vector<double> z_normalize(const std::vector<double>& x) {
+  const double m = mean(x);
+  const double s = stddev(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const double v : x) {
+    out.push_back(s > 0.0 ? (v - m) / s : 0.0);
+  }
+  return out;
+}
+
+}  // namespace politewifi::sensing

@@ -1,0 +1,27 @@
+// Dynamic Time Warping — template matching for gesture/keystroke shapes.
+//
+// The recent-work systems the paper cites (WiKey, WindTalker) classify
+// keystrokes by DTW distance between a waveform and per-key templates;
+// we provide the same primitive with a Sakoe-Chiba band.
+#pragma once
+
+#include <vector>
+
+namespace politewifi::sensing {
+
+/// DTW distance between two series with a warping band of `band` samples
+/// (band <= 0 means unconstrained). Euclidean point cost.
+double dtw_distance(const std::vector<double>& a,
+                    const std::vector<double>& b, int band = 0);
+
+/// Index of the template with the smallest DTW distance to `query`
+/// (-1 when `templates` is empty).
+int dtw_classify(const std::vector<double>& query,
+                 const std::vector<std::vector<double>>& templates,
+                 int band = 0);
+
+/// Z-score normalization (helper so magnitude differences don't dominate
+/// shape matching).
+std::vector<double> z_normalize(const std::vector<double>& x);
+
+}  // namespace politewifi::sensing

@@ -1,0 +1,105 @@
+#include "sensing/fft.h"
+
+#include <cmath>
+
+#include "sensing/series.h"
+
+namespace politewifi::sensing {
+
+void fft(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n < 2) return;
+  // n must be a power of two.
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / double(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : x) v /= double(n);
+  }
+}
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> magnitude_spectrum(const std::vector<double>& x) {
+  if (x.empty()) return {};
+  std::vector<std::complex<double>> buf(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
+  fft(buf);
+  std::vector<double> mag(buf.size() / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(buf[k]);
+  return mag;
+}
+
+std::vector<double> Spectrogram::band_energy(double f_lo, double f_hi) const {
+  std::vector<double> out;
+  out.reserve(frames.size());
+  for (const auto& frame : frames) {
+    double e = 0.0;
+    for (std::size_t k = 0; k < frame.size(); ++k) {
+      const double f = double(k) * bin_hz;
+      if (f >= f_lo && f <= f_hi) e += frame[k] * frame[k];
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+Spectrogram stft(const std::vector<double>& x, double fs, std::size_t window,
+                 std::size_t hop) {
+  Spectrogram spec;
+  if (x.size() < window || window < 2 || hop == 0) return spec;
+  spec.frame_interval_s = double(hop) / fs;
+  spec.bin_hz = fs / double(window);
+
+  // Hann window.
+  std::vector<double> hann(window);
+  for (std::size_t i = 0; i < window; ++i) {
+    hann[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI * double(i) /
+                                    double(window - 1)));
+  }
+
+  std::vector<std::complex<double>> buf(window);
+  for (std::size_t start = 0; start + window <= x.size(); start += hop) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < window; ++i) m += x[start + i];
+    m /= double(window);
+    for (std::size_t i = 0; i < window; ++i) {
+      buf[i] = (x[start + i] - m) * hann[i];
+    }
+    fft(buf);
+    std::vector<double> mags(window / 2 + 1);
+    for (std::size_t k = 0; k < mags.size(); ++k) mags[k] = std::abs(buf[k]);
+    spec.frames.push_back(std::move(mags));
+    std::fill(buf.begin(), buf.end(), std::complex<double>{});
+  }
+  return spec;
+}
+
+}  // namespace politewifi::sensing

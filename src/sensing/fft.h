@@ -1,0 +1,48 @@
+// Radix-2 FFT and the short-time Fourier transform (spectrogram).
+//
+// The WiFi-sensing literature the paper builds on (gesture recognition
+// [28, 30], respiration [18, 26]) works in the time-frequency domain;
+// this is the from-scratch machinery for it.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace politewifi::sensing {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `x.size()` must be a
+/// power of two. Set `inverse` for the (normalized) inverse transform.
+void fft(std::vector<std::complex<double>>& x, bool inverse = false);
+
+/// Real-input convenience: zero-pads to the next power of two and
+/// returns the one-sided magnitude spectrum (size n/2+1).
+std::vector<double> magnitude_spectrum(const std::vector<double>& x);
+
+/// Frequency of bin `k` for a length-`n` transform at sample rate `fs`.
+inline double bin_frequency(std::size_t k, std::size_t n, double fs) {
+  return double(k) * fs / double(n);
+}
+
+/// Short-time Fourier transform magnitude.
+struct Spectrogram {
+  /// frames[t][k] = |X_t(k)|, one-sided.
+  std::vector<std::vector<double>> frames;
+  double frame_interval_s = 0.0;  // hop / fs
+  double bin_hz = 0.0;            // fs / nfft
+
+  std::size_t num_frames() const { return frames.size(); }
+  std::size_t num_bins() const {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+
+  /// Total power in [f_lo, f_hi] per frame — a motion-energy series.
+  std::vector<double> band_energy(double f_lo, double f_hi) const;
+};
+
+/// Computes an STFT with a Hann window. `window` must be a power of two;
+/// `hop` <= window. The mean of each window is removed first (CSI
+/// amplitude has a large DC term that would otherwise swamp everything).
+Spectrogram stft(const std::vector<double>& x, double fs, std::size_t window,
+                 std::size_t hop);
+
+}  // namespace politewifi::sensing

@@ -1,0 +1,144 @@
+#include "sensing/gesture.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sensing/filters.h"
+
+namespace politewifi::sensing {
+
+const char* gesture_name(Gesture g) {
+  switch (g) {
+    case Gesture::kPush: return "push";
+    case Gesture::kWave: return "wave";
+    case Gesture::kNone: return "none";
+  }
+  return "?";
+}
+
+GestureClassifier::GestureClassifier(GestureClassifierConfig config)
+    : config_(config) {}
+
+std::vector<double> GestureClassifier::make_template(Gesture g,
+                                                     double fs) const {
+  std::vector<double> t;
+  switch (g) {
+    case Gesture::kPush: {
+      // A push sweeps the path monotonically out and back: the motion
+      // *rate* (which drives CSI churn) peaks twice — once going out,
+      // once coming back — with a lull at the turnaround.
+      const std::size_t n = std::size_t(config_.push_duration_s * fs);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = double(i) / double(n);  // 0..1 through the push
+        t.push_back(std::abs(std::cos(M_PI * p)) * std::sin(M_PI * p));
+      }
+      break;
+    }
+    case Gesture::kWave: {
+      // Waving keeps the hand in continuous oscillation: sustained
+      // high churn modulated at twice the wave rate.
+      const std::size_t n = std::size_t(config_.wave_duration_s * fs);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double tt = double(i) / fs;
+        const double p = double(i) / double(n);
+        const double soft = std::sin(M_PI * p);
+        t.push_back(soft *
+                    std::abs(std::cos(2.0 * M_PI * config_.wave_hz * tt)));
+      }
+      break;
+    }
+    case Gesture::kNone:
+      break;
+  }
+  // The measured envelope is a moving deviation over envelope_window_s;
+  // smooth the ideal rate curve identically so like compares with like.
+  const int w = std::max(1, int(std::lround(config_.envelope_window_s * fs)));
+  return z_normalize(moving_average(t, w));
+}
+
+std::vector<double> GestureClassifier::envelope(
+    const TimeSeries& amplitude) const {
+  const int w = std::max(
+      3, int(std::lround(config_.envelope_window_s / amplitude.dt_s)));
+  auto clean = hampel_filter(amplitude.v, 7);
+  // Motion energy: windowed deviation of the amplitude.
+  return moving_stddev(clean, w);
+}
+
+Gesture GestureClassifier::classify(const TimeSeries& amplitude) const {
+  if (amplitude.size() < 16 || amplitude.dt_s <= 0.0) return Gesture::kNone;
+  if (amplitude.duration_s() < config_.min_duration_s ||
+      amplitude.duration_s() > config_.max_duration_s) {
+    return Gesture::kNone;
+  }
+
+  // The physically robust discriminant: a push has a pronounced
+  // mid-gesture lull (the hand reverses once, pausing for hundreds of
+  // milliseconds), while a wave keeps the hand in motion — its
+  // stroke-extreme dips last only tens of milliseconds and vanish under
+  // modest smoothing.
+  const auto env = envelope(amplitude);
+  const int smooth_w = std::max(
+      3, int(std::lround(config_.smooth_window_s / amplitude.dt_s)));
+  const auto smooth = moving_average(env, smooth_w);
+
+  double peak = 0.0;
+  for (const double v : smooth) peak = std::max(peak, v);
+  if (peak <= 0.0) return Gesture::kNone;
+
+  const std::size_t lo = smooth.size() / 4;
+  const std::size_t hi = (3 * smooth.size()) / 4;
+  double valley = peak;
+  for (std::size_t i = lo; i < hi; ++i) valley = std::min(valley, smooth[i]);
+
+  return valley / peak < config_.valley_threshold ? Gesture::kPush
+                                                  : Gesture::kWave;
+}
+
+std::vector<GestureClassifier::Detection> GestureClassifier::detect(
+    const TimeSeries& amplitude) const {
+  std::vector<Detection> out;
+  if (amplitude.size() < 16 || amplitude.dt_s <= 0.0) return out;
+
+  // Motion bursts: envelope above a noise-floor multiple.
+  const auto env = envelope(amplitude);
+  std::vector<double> sorted = env;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t tenth = std::max<std::size_t>(1, sorted.size() / 10);
+  double floor = 0.0;
+  for (std::size_t i = 0; i < tenth; ++i) floor += sorted[i];
+  floor = std::max(floor / double(tenth), 1e-9);
+  const double threshold = 4.0 * floor;
+
+  const auto gap_samples =
+      std::size_t(std::max(1.0, 0.4 / amplitude.dt_s));  // 400 ms merge gap
+  std::size_t burst_start = 0;
+  bool in_burst = false;
+  std::size_t last_above = 0;
+  for (std::size_t i = 0; i <= env.size(); ++i) {
+    const bool above = i < env.size() && env[i] > threshold;
+    if (above) {
+      if (!in_burst) {
+        in_burst = true;
+        burst_start = i;
+      }
+      last_above = i;
+    } else if (in_burst && (i == env.size() || i - last_above > gap_samples)) {
+      in_burst = false;
+      // Classify the burst window (with a little context).
+      const std::size_t pad = gap_samples / 2;
+      const std::size_t lo = burst_start > pad ? burst_start - pad : 0;
+      const std::size_t hi = std::min(env.size(), last_above + pad);
+      TimeSeries window;
+      window.dt_s = amplitude.dt_s;
+      window.t0_s = amplitude.time_of(lo);
+      window.v.assign(amplitude.v.begin() + long(lo),
+                      amplitude.v.begin() + long(hi));
+      out.push_back(Detection{classify(window), amplitude.time_of(lo),
+                              amplitude.time_of(hi)});
+    }
+  }
+  return out;
+}
+
+}  // namespace politewifi::sensing

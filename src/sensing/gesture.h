@@ -1,0 +1,82 @@
+// Gesture recognition from ACK CSI — the use case the paper cites from
+// [28] (AirMouse) and [30] (Widar-class systems), rebuilt on the
+// Polite WiFi front-end: the attacker/sensor needs no cooperation from
+// the device it senses off.
+//
+// Classification is template matching: each gesture has a canonical
+// motion-energy envelope (a push is one hump; a wave is an oscillation
+// burst), and captured windows are compared by DTW after z-normalization
+// — the standard approach of the cited systems.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensing/dtw.h"
+#include "sensing/features.h"
+
+namespace politewifi::sensing {
+
+enum class Gesture : std::uint8_t {
+  kPush,  // single out-and-back motion
+  kWave,  // oscillatory hand wave
+  kNone,  // no confident match
+};
+
+const char* gesture_name(Gesture g);
+
+struct GestureClassifierConfig {
+  /// Envelope feature window (seconds). Must stay well under the wave
+  /// stroke period (~0.25 s at 2 Hz) or the lobes that distinguish a
+  /// wave from a push are averaged away.
+  double envelope_window_s = 0.08;
+  /// DTW warping band as a fraction of template length. Keep modest: an
+  /// unconstrained warp can fold a wave's lobes onto a push's two humps.
+  double dtw_band_fraction = 0.12;
+  /// A match must beat the runner-up by this distance ratio, or kNone.
+  double decision_margin = 1.15;
+  /// Envelope smoothing before the valley test (seconds): long enough to
+  /// erase a wave's ~30 ms stroke-extreme dips, short enough to keep a
+  /// push's ~400 ms turnaround lull.
+  double smooth_window_s = 0.25;
+  /// Mid-gesture valley depth (min/max of the smoothed envelope) below
+  /// which the gesture reads as a push.
+  double valley_threshold = 0.35;
+  /// Plausible gesture durations; outside -> kNone.
+  double min_duration_s = 0.5;
+  double max_duration_s = 3.5;
+  /// Expected gesture duration used for the canonical templates (s).
+  double push_duration_s = 1.2;
+  double wave_duration_s = 1.5;
+  double wave_hz = 2.0;
+};
+
+class GestureClassifier {
+ public:
+  explicit GestureClassifier(GestureClassifierConfig config);
+  GestureClassifier() : GestureClassifier(GestureClassifierConfig{}) {}
+
+  /// Classifies one captured window of CSI amplitude (the gesture should
+  /// roughly fill it).
+  Gesture classify(const TimeSeries& amplitude) const;
+
+  /// Segments a longer trace into candidate gesture windows (motion
+  /// bursts) and classifies each.
+  struct Detection {
+    Gesture gesture = Gesture::kNone;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<Detection> detect(const TimeSeries& amplitude) const;
+
+  /// The canonical envelope template for a gesture at `fs` Hz (exposed
+  /// for tests).
+  std::vector<double> make_template(Gesture g, double fs) const;
+
+ private:
+  std::vector<double> envelope(const TimeSeries& amplitude) const;
+
+  GestureClassifierConfig config_;
+};
+
+}  // namespace politewifi::sensing

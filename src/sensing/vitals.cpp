@@ -1,0 +1,70 @@
+#include "sensing/vitals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sensing/filters.h"
+
+namespace politewifi::sensing {
+
+std::optional<BreathingEstimate> estimate_breathing(
+    const TimeSeries& amplitude, const BreathingEstimatorConfig& config) {
+  if (amplitude.size() < 32 || amplitude.dt_s <= 0.0) return std::nullopt;
+  const double fs = 1.0 / amplitude.dt_s;
+
+  // Clean and detrend: breathing lives well below 1 Hz.
+  auto clean = hampel_filter(amplitude.v, 9);
+  if (1.0 < fs / 2.0) clean = butterworth_filtfilt(clean, 1.0, fs);
+  const double m = mean(clean);
+  for (double& v : clean) v -= m;
+
+  const double f_lo = config.min_bpm / 60.0;
+  const double f_hi = config.max_bpm / 60.0;
+  const double step = config.resolution_bpm / 60.0;
+
+  double total_power = 0.0;
+  double best_power = -1.0;
+  double best_f = f_lo;
+  for (double f = f_lo; f <= f_hi + 1e-12; f += step) {
+    const double p = goertzel_power(clean, f, fs);
+    total_power += p;
+    if (p > best_power) {
+      best_power = p;
+      best_f = f;
+    }
+  }
+  if (total_power <= 0.0) return std::nullopt;
+
+  BreathingEstimate est;
+  est.rate_bpm = best_f * 60.0;
+  // Peak sharpness: power in the winning bin and its neighbours over the
+  // whole band.
+  const double neighbours =
+      goertzel_power(clean, std::max(best_f - step, f_lo), fs) +
+      goertzel_power(clean, std::min(best_f + step, f_hi), fs);
+  est.confidence = std::min(1.0, (best_power + neighbours) / total_power);
+  if (est.confidence < config.min_confidence) return std::nullopt;
+  return est;
+}
+
+bool detect_occupancy(const TimeSeries& amplitude,
+                      const OccupancyConfig& config) {
+  if (amplitude.size() < 8 || amplitude.dt_s <= 0.0) return false;
+  const int w = std::max(3, int(std::lround(config.window_s / amplitude.dt_s)));
+  const auto dev = moving_stddev(amplitude.v, w);
+
+  std::vector<double> sorted = dev;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t tenth = std::max<std::size_t>(1, sorted.size() / 10);
+  double floor = 0.0;
+  for (std::size_t i = 0; i < tenth; ++i) floor += sorted[i];
+  floor = std::max(floor / double(tenth), 1e-9);
+
+  std::size_t above = 0;
+  for (const double d : dev) {
+    if (d > config.presence_factor * floor) ++above;
+  }
+  return double(above) / double(dev.size()) >= config.min_duty;
+}
+
+}  // namespace politewifi::sensing

@@ -1,0 +1,49 @@
+// Vital-sign and occupancy estimation from ACK CSI.
+//
+// §4 closes with open questions — "can an attacker detect occupancy?
+// ... estimate vital signs such as ... breathing rate?" — and §4.3
+// proposes single-device sensing as an opportunity. These estimators
+// answer both with the machinery the rest of the library provides.
+#pragma once
+
+#include <optional>
+
+#include "sensing/features.h"
+
+namespace politewifi::sensing {
+
+struct BreathingEstimate {
+  double rate_bpm = 0.0;
+  double confidence = 0.0;  // peak power / total band power, 0..1
+};
+
+struct BreathingEstimatorConfig {
+  double min_bpm = 8.0;
+  double max_bpm = 30.0;
+  /// Spectral scan resolution in breaths/minute.
+  double resolution_bpm = 0.25;
+  /// Below this confidence the estimate is rejected (nobody breathing
+  /// in range / too much motion).
+  double min_confidence = 0.2;
+};
+
+/// Estimates breathing rate from a quiet amplitude trace (person present
+/// but otherwise still). Returns nullopt when no credible periodicity is
+/// found.
+std::optional<BreathingEstimate> estimate_breathing(
+    const TimeSeries& amplitude,
+    const BreathingEstimatorConfig& config = BreathingEstimatorConfig{});
+
+struct OccupancyConfig {
+  /// Deviation multiple of the noise floor that indicates presence.
+  double presence_factor = 2.5;
+  /// Fraction of windows that must exceed it.
+  double min_duty = 0.05;
+  double window_s = 0.8;
+};
+
+/// True when the trace shows human-scale channel dynamics.
+bool detect_occupancy(const TimeSeries& amplitude,
+                      const OccupancyConfig& config = OccupancyConfig{});
+
+}  // namespace politewifi::sensing

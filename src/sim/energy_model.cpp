@@ -1,0 +1,72 @@
+#include "sim/energy_model.h"
+
+namespace politewifi::sim {
+
+const char* radio_state_name(RadioState s) {
+  switch (s) {
+    case RadioState::kOff: return "off";
+    case RadioState::kSleep: return "sleep";
+    case RadioState::kIdle: return "idle";
+    case RadioState::kRx: return "rx";
+    case RadioState::kTx: return "tx";
+  }
+  return "?";
+}
+
+PowerProfile PowerProfile::esp8266() { return PowerProfile{}; }
+
+PowerProfile PowerProfile::mains_powered() {
+  return PowerProfile{
+      .off_mw = 0.0,
+      .sleep_mw = 800.0,   // APs don't really sleep
+      .idle_mw = 2000.0,
+      .rx_mw = 2200.0,
+      .tx_mw = 4000.0,
+      .tx_ramp = microseconds(50),
+  };
+}
+
+double EnergyMeter::state_power_mw(RadioState s) const {
+  switch (s) {
+    case RadioState::kOff: return profile_.off_mw;
+    case RadioState::kSleep: return profile_.sleep_mw;
+    case RadioState::kIdle: return profile_.idle_mw;
+    case RadioState::kRx: return profile_.rx_mw;
+    case RadioState::kTx: return profile_.tx_mw;
+  }
+  return 0.0;
+}
+
+void EnergyMeter::set_state(RadioState next, TimePoint now) {
+  const Duration dwelt = now - state_start_;
+  if (dwelt > Duration::zero()) {
+    accrued_mj_ += state_power_mw(state_) * to_seconds(dwelt);
+    dwell_[static_cast<int>(state_)] += dwelt;
+  }
+  state_ = next;
+  state_start_ = now;
+}
+
+double EnergyMeter::consumed_mj(TimePoint now) const {
+  double mj = accrued_mj_;
+  mj += state_power_mw(state_) * to_seconds(now - state_start_);
+  mj += double(ramp_events_) * profile_.tx_mw * to_seconds(profile_.tx_ramp);
+  return mj;
+}
+
+double EnergyMeter::average_mw(TimePoint now) const {
+  const double secs = to_seconds(now - meter_start_);
+  return secs <= 0.0 ? 0.0 : consumed_mj(now) / secs;
+}
+
+void EnergyMeter::reset(TimePoint now) {
+  // Close the open dwell into the (discarded) accumulator first.
+  set_state(state_, now);
+  accrued_mj_ = 0.0;
+  ramp_events_ = 0;
+  dwell_.fill(Duration::zero());
+  meter_start_ = now;
+  state_start_ = now;
+}
+
+}  // namespace politewifi::sim

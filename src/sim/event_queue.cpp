@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+namespace politewifi::sim {
+
+Scheduler::EventId Scheduler::schedule_at(TimePoint at,
+                                          std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
+  return id;
+}
+
+bool Scheduler::dispatch(Event& ev) {
+  if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return false;
+  }
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::run_until(TimePoint until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = queue_.top();  // copy: fn may schedule and reallocate
+    queue_.pop();
+    dispatch(ev);
+  }
+  now_ = std::max(now_, until);
+}
+
+void Scheduler::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+bool Scheduler::run_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (dispatch(ev)) return true;
+  }
+  return false;
+}
+
+}  // namespace politewifi::sim

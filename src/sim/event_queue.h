@@ -1,0 +1,74 @@
+// Discrete-event scheduler — the simulator's heartbeat.
+//
+// A single-threaded min-heap of timestamped callbacks. All 802.11 timing
+// (SIFS turnarounds, ACK timeouts, beacon intervals, injection schedules,
+// sleep cycles) is expressed as events on this queue, giving the
+// nanosecond determinism the protocol's argument depends on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace politewifi::sim {
+
+class Scheduler {
+ public:
+  using EventId = std::uint64_t;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay`.
+  EventId schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + std::max(delay, Duration::zero()), std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id
+  /// is a harmless no-op (timers race with the events that obsolete them).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs events with time <= `until`, then advances the clock to `until`.
+  void run_until(TimePoint until);
+
+  /// Convenience: run for `duration` of simulated time.
+  void run_for(Duration duration) { run_until(now_ + duration); }
+
+  /// Runs until the queue drains (use with care — beaconing never drains).
+  void run_all();
+
+  /// Executes the single earliest event, if any. Returns false when empty.
+  bool run_one();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      // Min-heap on (time, id): FIFO among simultaneous events.
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  bool dispatch(Event& ev);
+
+  TimePoint now_ = kSimStart;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace politewifi::sim

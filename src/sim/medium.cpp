@@ -1,0 +1,238 @@
+#include "sim/medium.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "frames/serializer.h"
+#include "phy/rates.h"
+#include "sim/radio.h"
+
+namespace politewifi::sim {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-independent pair key.
+std::uint64_t pair_key(std::uint64_t a, std::uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return splitmix(a * 0x100000001b3ULL + b);
+}
+
+}  // namespace
+
+Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
+    : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {}
+
+void Medium::attach(Radio* radio) { radios_.push_back(radio); }
+
+void Medium::detach(Radio* radio) {
+  std::erase(radios_, radio);
+  active_.erase(radio);
+}
+
+double Medium::link_shadowing_db(const Radio& a, const Radio& b) const {
+  if (config_.shadowing_sigma_db <= 0.0) return 0.0;
+  // Box-Muller on two deterministic uniforms from the pair key.
+  const std::uint64_t k = pair_key(a.id(), b.id()) ^ seed_;
+  const double u1 =
+      (double(splitmix(k) >> 11) + 0.5) / 9007199254740992.0;  // (0,1)
+  const double u2 = (double(splitmix(k + 1) >> 11) + 0.5) / 9007199254740992.0;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return z * config_.shadowing_sigma_db;
+}
+
+double Medium::rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
+                            const Radio& rx_radio) const {
+  const phy::LogDistancePathLoss model(
+      {.exponent = config_.path_loss_exponent,
+       .reference_m = 1.0,
+       .shadowing_sigma_db = 0.0},
+      tx_radio.frequency_hz());
+  const double d = distance(tx_radio.position(), rx_radio.position());
+  return tx_power_dbm - model.loss_db(d) +
+         link_shadowing_db(tx_radio, rx_radio);
+}
+
+void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
+  const TimePoint start = scheduler_.now();
+  const Duration airtime = phy::ppdu_airtime(tx.rate, ppdu.size());
+  const TimePoint end = start + airtime;
+
+  if (trace_) {
+    trace_(TransmissionEvent{start, end, &sender, ppdu, tx});
+  }
+
+  // Charge the sender: TX state for the airtime, plus ramp overhead.
+  sender.energy().set_state(RadioState::kTx, start);
+  sender.energy().charge_tx_ramp();
+  sender.tx_since_ = start;
+  sender.tx_until_ = end;
+  scheduler_.schedule_at(end, [&sender, end] {
+    sender.energy().set_state(
+        sender.sleeping() ? RadioState::kSleep : RadioState::kIdle, end);
+  });
+
+  for (Radio* rx_radio : radios_) {
+    if (rx_radio == &sender) continue;
+    // A dozing radio missed the preamble; it cannot receive this PPDU no
+    // matter what. Skipping it here is both correct and the fast path that
+    // lets the 5,000-device city stay cheap.
+    if (rx_radio->sleeping()) continue;
+    if (rx_radio->config().band != sender.config().band ||
+        rx_radio->config().channel != sender.config().channel) {
+      continue;
+    }
+    const double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
+    if (rx_dbm < config_.detect_threshold_dbm) continue;
+
+    // Finite-speed-of-light arrival: the PPDU occupies [start+d/c, end+d/c]
+    // at this receiver.
+    Duration prop = Duration::zero();
+    if (config_.model_propagation_delay) {
+      const double d = distance(sender.position(), rx_radio->position());
+      prop = nanoseconds(
+          static_cast<std::int64_t>(d / kSpeedOfLight * 1e9));
+    }
+    const TimePoint rx_start = start + prop;
+    const TimePoint rx_end = end + prop;
+
+    const std::uint64_t rid = next_reception_id_++;
+    auto& list = active_[rx_radio];
+    prune(list);
+    list.push_back(Reception{rid, rx_start, rx_end, rx_dbm,
+                             !rx_radio->sleeping()});
+
+    // Energy: an awake radio is in RX while a detectable PPDU is on air.
+    if (!rx_radio->sleeping() &&
+        !rx_radio->transmitting_during(rx_start, rx_end)) {
+      rx_radio->rx_nesting_++;
+      rx_radio->energy().set_state(RadioState::kRx, rx_start);
+    }
+
+    scheduler_.schedule_at(rx_end, [this, rx_radio, rid, ppdu, tx, rx_start,
+                                    rx_end, rx_dbm,
+                                    sender_ptr = &sender]() mutable {
+      finalize_reception(rx_radio, rid, std::move(ppdu), tx, rx_start, rx_end,
+                         rx_dbm, sender_ptr);
+    });
+  }
+}
+
+void Medium::prune(std::vector<Reception>& list) const {
+  const TimePoint now = scheduler_.now();
+  // Keep receptions that might still interfere with an in-flight frame:
+  // anything that ended more than a beacon ago is irrelevant.
+  std::erase_if(list, [now](const Reception& r) {
+    return r.end + milliseconds(10) < now;
+  });
+}
+
+bool Medium::busy_for(const Radio& radio) const {
+  const TimePoint now = scheduler_.now();
+  if (radio.transmitting_during(now, now + nanoseconds(1))) return true;
+  const auto it = active_.find(&radio);
+  if (it == active_.end()) return false;
+  for (const auto& r : it->second) {
+    if (r.start <= now && now < r.end &&
+        r.power_dbm >= config_.cs_threshold_dbm) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
+                                Bytes ppdu, const phy::TxVector& tx,
+                                TimePoint start, TimePoint end,
+                                double power_dbm, const Radio* sender) {
+  auto& list = active_[receiver];
+
+  // Settle RX energy state first.
+  const bool was_counted =
+      !receiver->sleeping() || receiver->rx_nesting_ > 0;
+  if (receiver->rx_nesting_ > 0) {
+    receiver->rx_nesting_--;
+    if (receiver->rx_nesting_ == 0 &&
+        !receiver->transmitting_during(end, end + nanoseconds(1))) {
+      receiver->energy().set_state(
+          receiver->sleeping() ? RadioState::kSleep : RadioState::kIdle, end);
+    }
+  }
+  (void)was_counted;
+
+  // Find our reception record (and whether the radio was awake for it).
+  bool awake_at_start = false;
+  for (const auto& r : list) {
+    if (r.id == reception_id) {
+      awake_at_start = r.receiver_awake_at_start;
+      break;
+    }
+  }
+
+  // Half-duplex and sleep gating.
+  if (!awake_at_start || receiver->sleeping()) return;
+  if (receiver->transmitting_during(start, end)) return;
+
+  // Interference: sum other receptions overlapping [start, end].
+  double interference_mw = 0.0;
+  for (const auto& r : list) {
+    if (r.id == reception_id) continue;
+    if (r.start < end && r.end > start) {
+      interference_mw += dbm_to_mw(r.power_dbm);
+    }
+  }
+
+  const double noise_mw =
+      dbm_to_mw(thermal_noise_dbm(phy::kChannelBandwidthHz) +
+                config_.noise_figure_db);
+  const double sinr_db =
+      power_dbm - mw_to_dbm(noise_mw + interference_mw);
+
+  bool corrupted = false;
+  if (interference_mw > 0.0 &&
+      power_dbm - mw_to_dbm(interference_mw) < config_.capture_margin_db) {
+    corrupted = true;  // collision without capture
+  } else if (sinr_db < phy::kPreambleDetectSnrDb) {
+    return;  // not even detectable as a frame
+  } else if (config_.model_frame_errors) {
+    const double fer = phy::frame_error_rate(tx.rate, sinr_db, ppdu.size());
+    if (rng_.bernoulli(fer)) corrupted = true;
+  }
+
+  if (corrupted) {
+    // Channel damage: flip bits so the FCS fails at the MAC.
+    frames::corrupt(ppdu, 3, splitmix(reception_id));
+  }
+
+  phy::RxVector rx;
+  rx.rate = tx.rate;
+  rx.rssi_dbm = power_dbm;
+  rx.snr_db = sinr_db;
+  if (receiver->config().capture_csi && !corrupted && sender != nullptr) {
+    if (csi_) rx.csi = csi_(*sender, *receiver, end);
+    if (!rx.csi) {
+      // Default: stable static multipath per link, geometry-seeded.
+      const std::uint64_t key = pair_key(sender->id(), receiver->id());
+      auto it = static_paths_.find(key);
+      if (it == static_paths_.end()) {
+        Rng path_rng(key ^ seed_);
+        const double d = distance(sender->position(), receiver->position());
+        it = static_paths_.emplace(key, phy::make_static_paths(d, 4, path_rng))
+                 .first;
+      }
+      Rng noise_rng(splitmix(reception_id) ^ seed_);
+      rx.csi = phy::evaluate_csi(sender->frequency_hz(), it->second, {},
+                                 0.01, noise_rng, end);
+    }
+  }
+
+  receiver->deliver(ppdu, rx);
+}
+
+}  // namespace politewifi::sim

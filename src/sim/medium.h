@@ -1,0 +1,118 @@
+// The shared wireless medium.
+//
+// Connects radios on the same band/channel: applies path loss and
+// deterministic per-link shadowing, tracks concurrent receptions for
+// carrier sense and collisions (with capture), rolls frame errors from
+// the SNR, and hands finished PPDUs to each receiving radio. A trace sink
+// observes every transmission (the simulator's Wireshark), and a CSI
+// provider lets scenario code shape per-link channel state (the sensing
+// experiments' hook).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "phy/csi.h"
+#include "phy/error_model.h"
+#include "phy/propagation.h"
+#include "phy/signal.h"
+#include "sim/event_queue.h"
+
+namespace politewifi::sim {
+
+class Radio;
+
+struct MediumConfig {
+  double path_loss_exponent = 3.0;
+  /// Per-link log-normal shadowing spread; drawn once per (tx, rx) pair so
+  /// a link's budget is stable across frames.
+  double shadowing_sigma_db = 4.0;
+  double cs_threshold_dbm = -82.0;      // carrier-sense busy level
+  double detect_threshold_dbm = -94.0;  // below this a frame is invisible
+  double capture_margin_db = 10.0;      // SIR needed to survive a collision
+  double noise_figure_db = 7.0;
+  bool model_frame_errors = true;
+  /// Model the finite speed of light: a frame arrives d/c after it is
+  /// sent. Nanoseconds per metre — irrelevant to MAC behaviour, but it is
+  /// exactly the signal that time-of-flight ranging (the Wi-Peep line of
+  /// follow-up work) extracts from Polite WiFi ACKs.
+  bool model_propagation_delay = true;
+};
+
+/// Record of one on-air PPDU (what a perfect sniffer would log).
+struct TransmissionEvent {
+  TimePoint start{};
+  TimePoint end{};
+  const Radio* sender = nullptr;
+  Bytes ppdu;
+  phy::TxVector tx;
+};
+
+using TraceSink = std::function<void(const TransmissionEvent&)>;
+
+/// Optional per-link CSI: (transmitter, receiver, time) -> snapshot.
+/// Return nullopt to fall back to the medium's static default.
+using CsiProvider = std::function<std::optional<phy::CsiSnapshot>(
+    const Radio& tx, const Radio& rx, TimePoint now)>;
+
+class Medium {
+ public:
+  Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed);
+
+  void attach(Radio* radio);
+  void detach(Radio* radio);
+
+  /// Starts a transmission from `sender`. Every eligible radio receives
+  /// the PPDU (or a collision-corrupted copy) when it ends.
+  void transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx);
+
+  /// Carrier sense at `radio`: any reception above CS threshold underway?
+  bool busy_for(const Radio& radio) const;
+
+  void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
+  void set_csi_provider(CsiProvider provider) { csi_ = std::move(provider); }
+
+  const MediumConfig& config() const { return config_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Deterministic per-link shadowing in dB (exposed for tests).
+  double link_shadowing_db(const Radio& a, const Radio& b) const;
+
+  /// Link budget: received power at `rx` for a transmission from `tx`.
+  double rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
+                      const Radio& rx_radio) const;
+
+ private:
+  struct Reception {
+    std::uint64_t id;
+    TimePoint start, end;
+    double power_dbm;
+    bool receiver_awake_at_start;
+  };
+
+  void finalize_reception(Radio* receiver, std::uint64_t reception_id,
+                          Bytes ppdu, const phy::TxVector& tx,
+                          TimePoint start, TimePoint end, double power_dbm,
+                          const Radio* sender);
+  void prune(std::vector<Reception>& list) const;
+
+  Scheduler& scheduler_;
+  MediumConfig config_;
+  mutable Rng rng_;
+  std::uint64_t seed_;
+  std::vector<Radio*> radios_;
+  std::unordered_map<const Radio*, std::vector<Reception>> active_;
+  std::uint64_t next_reception_id_ = 1;
+  TraceSink trace_;
+  CsiProvider csi_;
+
+  // Per-pair cached static paths for the default CSI fallback.
+  mutable std::unordered_map<std::uint64_t, phy::PathSet> static_paths_;
+};
+
+}  // namespace politewifi::sim

@@ -1,0 +1,37 @@
+// Simple mobility: moves a radio along a waypoint route at constant speed.
+// The wardriving survey (§3) drives the attacker's vehicle with this.
+#pragma once
+
+#include <vector>
+
+#include "sim/radio.h"
+
+namespace politewifi::sim {
+
+class WaypointMover {
+ public:
+  /// Moves `radio` along `route` at `speed_mps`, updating the position
+  /// every `tick`. Movement starts on start().
+  WaypointMover(Radio& radio, Scheduler& scheduler,
+                std::vector<Position> route, double speed_mps,
+                Duration tick = milliseconds(100));
+
+  void start();
+
+  bool finished() const { return finished_; }
+  double distance_travelled() const { return travelled_m_; }
+
+ private:
+  void step();
+
+  Radio& radio_;
+  Scheduler& scheduler_;
+  std::vector<Position> route_;
+  double speed_mps_;
+  Duration tick_;
+  std::size_t next_waypoint_ = 0;
+  double travelled_m_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace politewifi::sim

@@ -1,0 +1,92 @@
+#include "sim/network.h"
+
+namespace politewifi::sim {
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(config),
+      medium_(scheduler_, config.medium, config.seed),
+      rng_(config.seed) {}
+
+Device& Simulation::add_device(DeviceInfo info, const MacAddress& mac,
+                               RadioConfig radio_config,
+                               mac::MacConfig mac_overrides) {
+  mac_overrides.address = mac;
+  mac_overrides.band = radio_config.band;
+  devices_.push_back(std::make_unique<Device>(
+      medium_, scheduler_, std::move(info), mac_overrides, radio_config,
+      rng_.engine()()));
+  return *devices_.back();
+}
+
+Device& Simulation::add_ap(const std::string& name, const MacAddress& mac,
+                           Position position, mac::ApConfig config) {
+  RadioConfig radio;
+  radio.band = config.band;
+  radio.channel = config.channel;
+  radio.position = position;
+  radio.power = PowerProfile::mains_powered();
+  Device& device = add_device(
+      DeviceInfo{.name = name, .kind = DeviceKind::kAccessPoint}, mac, radio);
+  device.make_ap(std::move(config));
+  return device;
+}
+
+Device& Simulation::add_client(const std::string& name, const MacAddress& mac,
+                               Position position, mac::ClientConfig config) {
+  RadioConfig radio;
+  radio.band = config.band;
+  radio.channel = 6;  // scanning is single-channel in this simulator
+  radio.position = position;
+  radio.power = config.power_save ? PowerProfile::esp8266()
+                                  : PowerProfile::mains_powered();
+  Device& device = add_device(
+      DeviceInfo{.name = name, .kind = DeviceKind::kClient}, mac, radio);
+  device.make_client(std::move(config));
+  return device;
+}
+
+bool Simulation::establish(Device& client, Duration timeout) {
+  if (client.client() == nullptr) return false;
+  const TimePoint deadline = scheduler_.now() + timeout;
+  while (scheduler_.now() < deadline) {
+    if (client.client()->established()) return true;
+    scheduler_.run_for(milliseconds(10));
+  }
+  return client.client()->established();
+}
+
+void Simulation::establish_instantly(Device& ap, Device& client) {
+  if (ap.ap() == nullptr || client.client() == nullptr) return;
+  const crypto::Ptk ptk = fast_link_ptk(ap.address(), client.address());
+  ap.ap()->install_established_client(client.address(), ptk);
+  // AIDs are assigned in arrival order by the AP; mirror its counter by
+  // asking what it just assigned. (Re-install is idempotent.)
+  client.client()->install_established(ap.address(), 1, ptk);
+}
+
+Device* Simulation::find_device(const MacAddress& mac) {
+  for (const auto& d : devices_) {
+    if (d->address() == mac) return d.get();
+  }
+  return nullptr;
+}
+
+TraceRecorder& Simulation::trace() {
+  if (!trace_) {
+    trace_ = std::make_unique<TraceRecorder>();
+    trace_->attach(medium_);
+    trace_->set_name_resolver([this](const Radio& radio) -> std::string {
+      for (const auto& d : devices_) {
+        if (&d->radio() == &radio) return d->info().name;
+      }
+      return "?";
+    });
+  }
+  return *trace_;
+}
+
+crypto::Ptk fast_link_ptk(const MacAddress& ap, const MacAddress& sta) {
+  return crypto::derive_fast_ptk(ap, sta);
+}
+
+}  // namespace politewifi::sim

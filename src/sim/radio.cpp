@@ -1,0 +1,46 @@
+#include "sim/radio.h"
+
+namespace politewifi::sim {
+
+std::uint64_t Radio::next_id_ = 1;
+
+Radio::Radio(Medium& medium, Scheduler& scheduler, RadioConfig config)
+    : medium_(medium),
+      scheduler_(scheduler),
+      config_(config),
+      position_(config.position),
+      energy_(config.power, scheduler.now()),
+      id_(next_id_++) {
+  energy_.set_state(RadioState::kIdle, scheduler_.now());
+  medium_.attach(this);
+}
+
+Radio::~Radio() { medium_.detach(this); }
+
+void Radio::transmit(const frames::Frame& frame, const phy::TxVector& tx) {
+  // A sleeping radio cannot transmit; the roles wake it first. Guard
+  // defensively rather than assert: a race between a doze decision and a
+  // queued control response resolves as "the frame never went out".
+  if (sleeping_) return;
+  medium_.transmit(*this, frames::serialize(frame), tx);
+}
+
+void Radio::deliver(const Bytes& ppdu, const phy::RxVector& rx) {
+  if (station_ != nullptr && !sleeping_) {
+    station_->on_ppdu_received(ppdu, rx);
+  }
+}
+
+void Radio::set_sleeping(bool sleeping) {
+  if (sleeping_ == sleeping) return;
+  sleeping_ = sleeping;
+  const TimePoint now = scheduler_.now();
+  if (sleeping_) {
+    rx_nesting_ = 0;
+    energy_.set_state(RadioState::kSleep, now);
+  } else {
+    energy_.set_state(RadioState::kIdle, now);
+  }
+}
+
+}  // namespace politewifi::sim

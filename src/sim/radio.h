@@ -1,0 +1,103 @@
+// A device's radio: the glue between MAC station, medium and energy meter.
+//
+// Radio implements mac::MacEnvironment, so the Station's timing decisions
+// (SIFS ACKs, DCF backoff, timeouts) execute on the simulator's scheduler,
+// and every transmit/receive/sleep transition is charged to the energy
+// meter — which is how Figure 6 falls out of the mechanics instead of
+// being hard-coded.
+#pragma once
+
+#include <string>
+
+#include "frames/serializer.h"
+#include "mac/environment.h"
+#include "mac/station.h"
+#include "sim/energy_model.h"
+#include "sim/medium.h"
+
+namespace politewifi::sim {
+
+struct RadioConfig {
+  phy::Band band = phy::Band::k2_4GHz;
+  int channel = 6;
+  Position position{};
+  PowerProfile power = PowerProfile::mains_powered();
+  /// Capture CSI on reception (costs CPU; enabled on attacker/sensor
+  /// radios, off for the thousands of survey victims).
+  bool capture_csi = false;
+};
+
+class Radio final : public mac::MacEnvironment {
+ public:
+  Radio(Medium& medium, Scheduler& scheduler, RadioConfig config);
+  ~Radio() override;
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  // --- mac::MacEnvironment ---------------------------------------------------
+
+  TimePoint now() const override { return scheduler_.now(); }
+  std::uint64_t schedule(Duration delay, std::function<void()> fn) override {
+    return scheduler_.schedule_in(delay, std::move(fn));
+  }
+  void cancel(std::uint64_t timer_id) override { scheduler_.cancel(timer_id); }
+  void transmit(const frames::Frame& frame, const phy::TxVector& tx) override;
+  bool medium_busy() const override { return medium_.busy_for(*this); }
+
+  // --- Medium-facing ----------------------------------------------------------
+
+  /// Called by the medium when a PPDU addressed through the ether has
+  /// finished arriving intact enough to hand to the MAC.
+  void deliver(const Bytes& ppdu, const phy::RxVector& rx);
+
+  bool transmitting_during(TimePoint start, TimePoint end) const {
+    return tx_since_ < end && tx_until_ > start;
+  }
+
+  // --- Host-facing -------------------------------------------------------------
+
+  void set_station(mac::Station* station) { station_ = station; }
+  mac::Station* station() { return station_; }
+
+  /// Doze control (roles call this through RoleContext::set_radio_sleep).
+  void set_sleeping(bool sleeping);
+  bool sleeping() const { return sleeping_; }
+
+  const RadioConfig& config() const { return config_; }
+  const Position& position() const { return position_; }
+  void set_position(const Position& p) { position_ = p; }
+
+  /// Retunes the radio (survey rigs hop channels). Takes effect for the
+  /// next PPDU; an in-flight reception on the old channel is lost, which
+  /// is exactly what real retuning does.
+  void set_channel(int channel) { config_.channel = channel; }
+
+  double frequency_hz() const {
+    return phy::channel_frequency_hz(config_.band, config_.channel);
+  }
+
+  EnergyMeter& energy() { return energy_; }
+  const EnergyMeter& energy() const { return energy_; }
+
+  /// Stable identity for deterministic per-link randomness.
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Medium;
+
+  Medium& medium_;
+  Scheduler& scheduler_;
+  RadioConfig config_;
+  Position position_;
+  mac::Station* station_ = nullptr;
+  EnergyMeter energy_;
+  bool sleeping_ = false;
+  TimePoint tx_since_{}, tx_until_{};
+  std::uint64_t rx_nesting_ = 0;  // concurrent receptions (for energy state)
+  std::uint64_t id_;
+
+  static std::uint64_t next_id_;
+};
+
+}  // namespace politewifi::sim

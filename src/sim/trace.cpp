@@ -1,0 +1,99 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+#include "sim/radio.h"
+
+namespace politewifi::sim {
+
+void TraceRecorder::attach(Medium& medium) {
+  medium.set_trace_sink(
+      [this](const TransmissionEvent& ev) { record(ev); });
+}
+
+bool TraceRecorder::passes_filter(const frames::Frame& f) const {
+  if (filter_.empty()) return true;
+  for (const auto& mac : filter_) {
+    if (f.addr1 == mac || (f.has_addr2() && f.addr2 == mac) ||
+        (f.has_addr3() && f.addr3 == mac)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceRecorder::record(const TransmissionEvent& event) {
+  TraceEntry entry;
+  entry.time = event.start;
+  entry.raw = event.ppdu;
+  entry.tx = event.tx;
+  if (resolver_ && event.sender != nullptr) {
+    entry.sender_name = resolver_(*event.sender);
+  }
+  const auto parsed = frames::deserialize(entry.raw);
+  if (parsed.frame) {
+    entry.frame = *parsed.frame;
+    entry.parsed = true;
+    if (!passes_filter(entry.frame)) return;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void TraceRecorder::dump(std::ostream& os, std::size_t max_rows) const {
+  os << "No.   Time         Source             Destination        Info\n";
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (max_rows != 0 && n >= max_rows) break;
+    ++n;
+    char line[256];
+    const std::string src =
+        e.parsed && e.frame.has_addr2() ? e.frame.addr2.to_string() : "-";
+    const std::string dst = e.parsed ? e.frame.addr1.to_string() : "?";
+    const std::string info = e.parsed ? e.frame.summary() : "[undecodable]";
+    std::snprintf(line, sizeof line, "%-5zu %-12s %-18s %-18s %s\n", n,
+                  format_time(e.time).c_str(), src.c_str(), dst.c_str(),
+                  info.c_str());
+    os << line;
+  }
+}
+
+bool TraceRecorder::write_pcap(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  auto w32 = [f](std::uint32_t v) { std::fwrite(&v, 4, 1, f); };
+  auto w16 = [f](std::uint16_t v) { std::fwrite(&v, 2, 1, f); };
+
+  // pcap global header, microsecond timestamps, LINKTYPE_IEEE802_11.
+  w32(0xa1b2c3d4);
+  w16(2);
+  w16(4);
+  w32(0);        // thiszone
+  w32(0);        // sigfigs
+  w32(65535);    // snaplen
+  w32(105);      // linktype
+
+  for (const auto& e : entries_) {
+    const double t = to_seconds(e.time.time_since_epoch());
+    const auto sec = static_cast<std::uint32_t>(t);
+    const auto usec = static_cast<std::uint32_t>((t - sec) * 1e6);
+    w32(sec);
+    w32(usec);
+    w32(static_cast<std::uint32_t>(e.raw.size()));
+    w32(static_cast<std::uint32_t>(e.raw.size()));
+    std::fwrite(e.raw.data(), 1, e.raw.size(), f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::size_t TraceRecorder::count(
+    const std::function<bool(const TraceEntry&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (pred(e)) ++n;
+  }
+  return n;
+}
+
+}  // namespace politewifi::sim

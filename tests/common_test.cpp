@@ -1,0 +1,283 @@
+// Unit tests for the common substrate: MAC addresses, byte codec, CRC-32,
+// clock formatting, units and RNG.
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.h"
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/mac_address.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace politewifi {
+namespace {
+
+// --- MacAddress ---------------------------------------------------------------
+
+TEST(MacAddress, DefaultIsZero) {
+  MacAddress m;
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_FALSE(m.is_broadcast());
+  EXPECT_EQ(m.to_string(), "00:00:00:00:00:00");
+}
+
+TEST(MacAddress, ParseRoundTrip) {
+  const auto m = MacAddress::parse("aa:bb:cc:dd:ee:ff");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseAcceptsDashesAndUppercase) {
+  const auto m = MacAddress::parse("AA-BB-CC-00-11-22");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "aa:bb:cc:00:11:22");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:fg").has_value());
+  EXPECT_FALSE(MacAddress::parse("aabbccddeeff0011").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa bb:cc:dd:ee:ff").has_value());
+}
+
+TEST(MacAddress, PaperFakeAddress) {
+  // The spoofed source used throughout the paper's figures.
+  EXPECT_EQ(MacAddress::paper_fake_address().to_string(), "aa:bb:bb:bb:bb:bb");
+}
+
+TEST(MacAddress, BroadcastProperties) {
+  const auto b = MacAddress::broadcast();
+  EXPECT_TRUE(b.is_broadcast());
+  EXPECT_TRUE(b.is_group());
+}
+
+TEST(MacAddress, OuiExtraction) {
+  const MacAddress m{0xf0, 0x18, 0x98, 0x01, 0x02, 0x03};
+  EXPECT_EQ(m.oui(), 0xf01898u);
+  EXPECT_FALSE(m.locally_administered());
+  EXPECT_FALSE(m.is_group());
+}
+
+TEST(MacAddress, LocallyAdministeredBit) {
+  const MacAddress m{0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  EXPECT_TRUE(m.locally_administered());
+}
+
+TEST(MacAddress, U64RoundTrip) {
+  const MacAddress m{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc};
+  EXPECT_EQ(MacAddress::from_u64(m.to_u64()), m);
+}
+
+TEST(MacAddress, OrderingIsTotalAndConsistent) {
+  const MacAddress a{0, 0, 0, 0, 0, 1};
+  const MacAddress b{0, 0, 0, 0, 1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<MacAddress>{}(a), std::hash<MacAddress>{}(b));
+}
+
+// --- ByteWriter / ByteReader ----------------------------------------------------
+
+TEST(ByteBuffer, LittleEndianRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16le(0x1234);
+  w.u32le(0xDEADBEEF);
+  w.u64le(0x0123456789ABCDEFull);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16le(), 0x1234);
+  EXPECT_EQ(r.u32le(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64le(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, LittleEndianByteOrderOnWire) {
+  ByteWriter w;
+  w.u16le(0x1234);
+  ASSERT_EQ(w.view().size(), 2u);
+  EXPECT_EQ(w.view()[0], 0x34);  // LSB first, as 802.11 requires
+  EXPECT_EQ(w.view()[1], 0x12);
+}
+
+TEST(ByteBuffer, BigEndianHelpers) {
+  ByteWriter w;
+  w.u16be(0x1234);
+  w.u32be(0xCAFEBABE);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16be(), 0x1234);
+  auto rest = r.rest();
+  EXPECT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[0], 0xCA);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  const Bytes data{1, 2, 3};
+  ByteReader r(data);
+  r.bytes(2);
+  EXPECT_THROW(r.u16le(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, PatchU16) {
+  ByteWriter w;
+  w.u16le(0);
+  w.u8(9);
+  w.patch_u16le(0, 0xBEEF);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16le(), 0xBEEF);
+}
+
+TEST(ByteBuffer, HexDump) {
+  const Bytes data{0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_dump(data), "01 ab ff");
+  EXPECT_EQ(hex_dump(Bytes{}), "");
+}
+
+// --- CRC-32 ---------------------------------------------------------------------
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const std::string s = "123456789";
+  const std::span<const std::uint8_t> data{
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 13);
+  }
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, std::span(data).first(100));
+  state = crc32_update(state, std::span(data).subspan(100, 500));
+  state = crc32_update(state, std::span(data).subspan(600));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Bytes data{0x00, 0x11, 0x22, 0x33, 0x44, 0x55};
+  const std::uint32_t original = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes copy = data;
+      copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(copy), original)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// --- Clock / units -----------------------------------------------------------------
+
+TEST(Clock, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(10)), 10.0);
+  EXPECT_EQ(from_seconds(1.5), milliseconds(1500));
+}
+
+TEST(Clock, FormatTime) {
+  const TimePoint t = kSimStart + milliseconds(1234);
+  EXPECT_EQ(format_time(t), "1.234000s");
+}
+
+TEST(Units, DbmMwRoundTrip) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-37.5)), -37.5, 1e-9);
+}
+
+TEST(Units, ThermalNoise20MHz) {
+  // kTB for 20 MHz is the textbook -101 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(20e6), -101.0, 0.2);
+}
+
+TEST(Units, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Units, Wavelength) {
+  EXPECT_NEAR(wavelength(2.437e9), 0.123, 0.001);   // 2.4 GHz ch 6
+  EXPECT_NEAR(wavelength(5.18e9), 0.0579, 0.0005);  // 5 GHz ch 36
+}
+
+// --- RNG -----------------------------------------------------------------------------
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(5);
+  parent2.fork();
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) {
+    if (child.uniform() != parent.uniform()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(123);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+// --- Logging ---------------------------------------------------------------------------
+
+TEST(Logging, SinkReceivesMessagesAtOrAboveLevel) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> seen;
+  logger.set_level(LogLevel::Info);
+  logger.set_sink([&seen](LogLevel, const std::string& m) {
+    seen.push_back(m);
+  });
+  PW_DEBUG("dropped %d", 1);
+  PW_INFO("kept %d", 2);
+  PW_ERROR("kept %s", "too");
+  logger.reset_sink();
+  logger.set_level(LogLevel::Warn);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "kept 2");
+  EXPECT_EQ(seen[1], "kept too");
+}
+
+}  // namespace
+}  // namespace politewifi

@@ -1,0 +1,327 @@
+// Unit tests for the core attack toolkit: injector, monitor hub, scanner,
+// ACK sniffer attribution, vendor statistics, and stream scheduling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ack_sniffer.h"
+#include "core/injector.h"
+#include "core/scanner.h"
+#include "core/vendor_stats.h"
+#include "sim/network.h"
+
+namespace politewifi::core {
+namespace {
+
+using sim::Device;
+using sim::Simulation;
+
+constexpr MacAddress kVictimMac{0x3c, 0x28, 0x6d, 0xaa, 0xbb, 0xcc};
+constexpr MacAddress kVictim2Mac{0x3c, 0x28, 0x6d, 0xaa, 0xbb, 0xdd};
+constexpr MacAddress kAttackerMac{0x02, 0xde, 0xad, 0xbe, 0xef, 0x01};
+
+struct Rig {
+  Simulation sim{{.medium = {.shadowing_sigma_db = 0.0}, .seed = 100}};
+  Device* victim = nullptr;
+  Device* attacker = nullptr;
+
+  Rig() {
+    sim::RadioConfig rc;
+    rc.position = {5, 0};
+    victim = &sim.add_device({.name = "victim"}, kVictimMac, rc);
+    sim::RadioConfig rig;
+    rig.position = {0, 0};
+    attacker = &sim.add_device(
+        {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
+        kAttackerMac, rig);
+  }
+};
+
+// --- Injector ------------------------------------------------------------------
+
+TEST(Injector, CraftsPaperExactNullFrame) {
+  Rig rig;
+  auto& trace = rig.sim.trace();
+  FakeFrameInjector injector(*rig.attacker);
+  injector.inject_one(kVictimMac);
+  rig.sim.run_for(milliseconds(1));
+
+  ASSERT_GE(trace.entries().size(), 1u);
+  const auto& f = trace.entries()[0].frame;
+  EXPECT_TRUE(f.fc.is_null_function());
+  EXPECT_FALSE(f.fc.protected_frame);
+  EXPECT_EQ(f.addr1, kVictimMac);
+  EXPECT_EQ(f.addr2, MacAddress::paper_fake_address());
+  EXPECT_TRUE(f.body.empty());
+}
+
+TEST(Injector, CustomSpoofedSource) {
+  Rig rig;
+  auto& trace = rig.sim.trace();
+  const MacAddress spoof{0xde, 0xad, 0x00, 0x00, 0x00, 0x01};
+  FakeFrameInjector injector(*rig.attacker, {.spoofed_source = spoof});
+  injector.inject_one(kVictimMac);
+  rig.sim.run_for(milliseconds(1));
+  ASSERT_GE(trace.entries().size(), 2u);  // fake + ACK
+  EXPECT_EQ(trace.entries()[0].frame.addr2, spoof);
+  EXPECT_EQ(trace.entries()[1].frame.addr1, spoof);  // ACK to the spoof
+}
+
+TEST(Injector, StreamHoldsConfiguredRate) {
+  Rig rig;
+  FakeFrameInjector injector(*rig.attacker);
+  injector.start_stream(kVictimMac, 200.0);
+  rig.sim.run_for(seconds(2));
+  injector.stop_stream(kVictimMac);
+  const auto injected = injector.stats().frames_injected;
+  EXPECT_NEAR(double(injected), 400.0, 8.0);
+  // Stream really stopped.
+  rig.sim.run_for(seconds(1));
+  EXPECT_EQ(injector.stats().frames_injected, injected);
+}
+
+TEST(Injector, RetargetingStreamReplacesRate) {
+  Rig rig;
+  FakeFrameInjector injector(*rig.attacker);
+  injector.start_stream(kVictimMac, 50.0);
+  rig.sim.run_for(seconds(1));
+  injector.start_stream(kVictimMac, 500.0);  // retarget, same victim
+  const auto before = injector.stats().frames_injected;
+  rig.sim.run_for(seconds(1));
+  const auto delta = injector.stats().frames_injected - before;
+  EXPECT_NEAR(double(delta), 500.0, 15.0);
+}
+
+TEST(Injector, ParallelStreamsToTwoVictims) {
+  Rig rig;
+  sim::RadioConfig rc;
+  rc.position = {6, 2};
+  Device& victim2 = rig.sim.add_device({.name = "victim2"}, kVictim2Mac, rc);
+  FakeFrameInjector injector(*rig.attacker);
+  injector.start_stream(kVictimMac, 100.0);
+  injector.start_stream(kVictim2Mac, 100.0);
+  rig.sim.run_for(seconds(2));
+  injector.stop_all();
+  EXPECT_GT(rig.victim->station().stats().acks_sent, 150u);
+  EXPECT_GT(victim2.station().stats().acks_sent, 150u);
+}
+
+TEST(Injector, SequenceNumbersAdvance) {
+  Rig rig;
+  auto& trace = rig.sim.trace();
+  FakeFrameInjector injector(*rig.attacker);
+  for (int i = 0; i < 3; ++i) injector.inject_one(kVictimMac);
+  rig.sim.run_for(milliseconds(1));
+  std::vector<int> sns;
+  for (const auto& e : trace.entries()) {
+    if (e.frame.fc.is_null_function()) sns.push_back(e.frame.seq.sequence);
+  }
+  ASSERT_EQ(sns.size(), 3u);
+  EXPECT_EQ(sns[1], sns[0] + 1);
+  EXPECT_EQ(sns[2], sns[1] + 1);
+}
+
+// --- MonitorHub ----------------------------------------------------------------
+
+TEST(Monitor, FanOutToMultipleTapsAndRemoval) {
+  Rig rig;
+  MonitorHub hub(rig.attacker->station());
+  int a = 0, b = 0;
+  hub.add_tap([&a](const frames::Frame&, const phy::RxVector&, bool) { ++a; });
+  const auto id =
+      hub.add_tap([&b](const frames::Frame&, const phy::RxVector&, bool) { ++b; });
+
+  rig.victim->station().transmit_now(
+      frames::make_null_function(kAttackerMac, kVictimMac, 1), phy::kOfdm24);
+  rig.sim.run_for(milliseconds(1));
+  EXPECT_GE(a, 1);
+  EXPECT_EQ(a, b);
+
+  hub.remove_tap(id);
+  const int b_before = b;
+  rig.victim->station().transmit_now(
+      frames::make_null_function(kAttackerMac, kVictimMac, 2), phy::kOfdm24);
+  rig.sim.run_for(milliseconds(1));
+  EXPECT_GT(a, 1);
+  EXPECT_EQ(b, b_before);
+}
+
+// --- Scanner --------------------------------------------------------------------
+
+TEST(Scanner, ClassifiesApFromBeaconAndClientFromToDs) {
+  Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 101});
+  mac::ApConfig apc;
+  apc.fast_keys = true;
+  Device& ap = sim.add_ap("ap", {0xf2, 0x6e, 0x0b, 1, 2, 3}, {0, 0}, apc);
+  mac::ClientConfig cc;
+  cc.fast_keys = true;
+  Device& client = sim.add_client("client", kVictimMac, {4, 0}, cc);
+
+  sim::RadioConfig rig;
+  rig.position = {6, 2};
+  Device& monitor = sim.add_device(
+      {.name = "monitor", .kind = sim::DeviceKind::kSniffer}, kAttackerMac,
+      rig);
+  MonitorHub hub(monitor.station());
+  DeviceScanner scanner(hub, monitor.radio(), {kAttackerMac});
+
+  sim.establish(client, seconds(10));
+  sim.run_for(seconds(1));
+
+  const auto& devices = scanner.devices();
+  ASSERT_TRUE(devices.count(ap.address()));
+  ASSERT_TRUE(devices.count(client.address()));
+  EXPECT_TRUE(devices.at(ap.address()).is_ap);
+  EXPECT_FALSE(devices.at(client.address()).is_ap);
+  EXPECT_EQ(scanner.count_aps(), 1u);
+  EXPECT_EQ(scanner.count_clients(), 1u);
+  EXPECT_GT(devices.at(ap.address()).frames_seen, 1u);
+}
+
+TEST(Scanner, IgnoredAddressesNeverAppear) {
+  Rig rig;
+  MonitorHub hub(rig.attacker->station());
+  DeviceScanner scanner(hub, rig.attacker->radio(),
+                        {kAttackerMac, MacAddress::paper_fake_address()});
+  FakeFrameInjector injector(*rig.attacker);
+  injector.inject_one(kVictimMac);
+  rig.sim.run_for(milliseconds(5));
+  // Neither our own MAC nor the spoofed source shows up as a "device".
+  EXPECT_EQ(scanner.devices().count(MacAddress::paper_fake_address()), 0u);
+  EXPECT_EQ(scanner.devices().count(kAttackerMac), 0u);
+}
+
+TEST(Scanner, DiscoveryCallbackFiresOncePerDevice) {
+  Rig rig;
+  MonitorHub hub(rig.attacker->station());
+  DeviceScanner scanner(hub, rig.attacker->radio(), {kAttackerMac});
+  int discoveries = 0;
+  scanner.set_on_discovery(
+      [&discoveries](const DiscoveredDevice&) { ++discoveries; });
+  for (int i = 0; i < 5; ++i) {
+    rig.victim->station().transmit_now(
+        frames::make_null_function(kAttackerMac, kVictimMac,
+                                   std::uint16_t(i)),
+        phy::kOfdm24);
+    rig.sim.run_for(milliseconds(2));
+  }
+  EXPECT_EQ(discoveries, 1);
+}
+
+TEST(Scanner, VendorResolvedThroughOuiDatabase) {
+  Rig rig;
+  Rng mac_rng(4);
+  const MacAddress apple = scenario::OuiDatabase::instance().make_address(
+      "Apple", mac_rng);
+  sim::RadioConfig rc;
+  rc.position = {3, 3};
+  Device& dev = rig.sim.add_device({.name = "iphone"}, apple, rc);
+
+  MonitorHub hub(rig.attacker->station());
+  DeviceScanner scanner(hub, rig.attacker->radio(), {kAttackerMac});
+  dev.station().transmit_now(
+      frames::make_null_function(kAttackerMac, apple, 1), phy::kOfdm24);
+  rig.sim.run_for(milliseconds(2));
+
+  ASSERT_TRUE(scanner.devices().count(apple));
+  EXPECT_EQ(scanner.devices().at(apple).vendor, "Apple");
+}
+
+// --- AckSniffer attribution ---------------------------------------------------------
+
+TEST(AckSniffer, AttributesAcksToRecentInjection) {
+  Rig rig;
+  sim::RadioConfig rc;
+  rc.position = {6, 2};
+  Device& victim2 = rig.sim.add_device({.name = "victim2"}, kVictim2Mac, rc);
+  (void)victim2;
+
+  MonitorHub hub(rig.attacker->station());
+  AckSniffer sniffer(hub, rig.attacker->radio(),
+                     MacAddress::paper_fake_address());
+  FakeFrameInjector injector(*rig.attacker);
+
+  injector.inject_one(kVictimMac);
+  sniffer.note_injection(kVictimMac);
+  rig.sim.run_for(milliseconds(5));
+  injector.inject_one(kVictim2Mac);
+  sniffer.note_injection(kVictim2Mac);
+  rig.sim.run_for(milliseconds(5));
+
+  EXPECT_EQ(sniffer.count_from(kVictimMac), 1u);
+  EXPECT_EQ(sniffer.count_from(kVictim2Mac), 1u);
+  EXPECT_EQ(sniffer.total(), 2u);
+}
+
+TEST(AckSniffer, IgnoresAcksToOtherReceivers) {
+  Rig rig;
+  MonitorHub hub(rig.attacker->station());
+  AckSniffer sniffer(hub, rig.attacker->radio(),
+                     MacAddress::paper_fake_address());
+  // A third-party exchange: victim ACKs someone who is not our spoof.
+  const MacAddress other{9, 9, 9, 9, 9, 9};
+  rig.victim->station().transmit_now(frames::make_ack(other), phy::kOfdm24);
+  rig.sim.run_for(milliseconds(2));
+  EXPECT_EQ(sniffer.total(), 0u);
+}
+
+// --- Vendor statistics ----------------------------------------------------------------
+
+TEST(VendorStats, TallyAndTopWithOthers) {
+  std::unordered_map<MacAddress, DiscoveredDevice> devices;
+  auto add = [&](std::uint8_t i, const char* vendor, bool ap) {
+    DiscoveredDevice d;
+    d.mac = MacAddress{0, 0, 0, 0, 0, i};
+    d.vendor = vendor;
+    d.is_ap = ap;
+    devices[d.mac] = d;
+  };
+  add(1, "Apple", false);
+  add(2, "Apple", false);
+  add(3, "Apple", false);
+  add(4, "Google", false);
+  add(5, "Google", false);
+  add(6, "ecobee", false);
+  add(7, "Hitron", true);  // AP — excluded from the client tally
+
+  const auto table = tally_vendors(devices, /*aps=*/false);
+  EXPECT_EQ(table.total, 6u);
+  EXPECT_EQ(table.distinct_vendors, 3u);
+  EXPECT_EQ(table.rows[0].vendor, "Apple");
+  EXPECT_EQ(table.rows[0].devices, 3u);
+
+  const auto top = table.top_with_others(2);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[2].vendor, "Others");
+  EXPECT_EQ(top[2].devices, 1u);  // ecobee folded in
+}
+
+TEST(VendorStats, PrintsPaperLayout) {
+  std::unordered_map<MacAddress, DiscoveredDevice> devices;
+  DiscoveredDevice d;
+  d.mac = MacAddress{0, 0, 0, 0, 0, 1};
+  d.vendor = "Apple";
+  devices[d.mac] = d;
+  const auto clients = tally_vendors(devices, false);
+  const auto aps = tally_vendors(devices, true);
+  std::ostringstream os;
+  print_table2(os, clients, aps);
+  EXPECT_NE(os.str().find("WiFi Client Device"), std::string::npos);
+  EXPECT_NE(os.str().find("Apple"), std::string::npos);
+  EXPECT_NE(os.str().find("Total"), std::string::npos);
+}
+
+// --- RTS variant through the toolkit ----------------------------------------------------
+
+TEST(Injector, RtsStreamElicitsCtsStream) {
+  Rig rig;
+  FakeFrameInjector injector(*rig.attacker, {.use_rts = true});
+  injector.start_stream(kVictimMac, 100.0);
+  rig.sim.run_for(seconds(1));
+  injector.stop_all();
+  EXPECT_GT(rig.victim->station().stats().cts_sent, 80u);
+  EXPECT_EQ(rig.victim->station().stats().acks_sent, 0u);
+}
+
+}  // namespace
+}  // namespace politewifi::core

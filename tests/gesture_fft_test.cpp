@@ -1,0 +1,216 @@
+// Tests for the FFT/STFT machinery and gesture recognition — both as
+// units (synthetic signals) and end-to-end through elicited-ACK CSI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/csi_collector.h"
+#include "scenario/sensing_scene.h"
+#include "sensing/fft.h"
+#include "sensing/gesture.h"
+#include "sim/network.h"
+
+namespace politewifi::sensing {
+namespace {
+
+// --- FFT --------------------------------------------------------------------
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> x(256);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  const auto original = x;
+  fft(x);
+  fft(x, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<std::complex<double>> x(64, 0.0);
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 512;
+  const double fs = 128.0;
+  const double f0 = 16.0;  // exactly bin 64
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * M_PI * f0 * double(i) / fs);
+  }
+  fft(x);
+  const std::size_t expected_bin = std::size_t(f0 * double(n) / fs);
+  // The tone's energy concentrates at the expected bin (and its mirror).
+  double max_mag = 0.0;
+  std::size_t max_bin = 0;
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    if (std::abs(x[k]) > max_mag) {
+      max_mag = std::abs(x[k]);
+      max_bin = k;
+    }
+  }
+  EXPECT_EQ(max_bin, expected_bin);
+  EXPECT_NEAR(max_mag, double(n) / 2.0, 1e-6);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<std::complex<double>> x(128);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = rng.gaussian();
+    time_energy += std::norm(v);
+  }
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / double(x.size()), time_energy, 1e-6);
+}
+
+TEST(Fft, MagnitudeSpectrumPadsNonPow2) {
+  std::vector<double> x(100, 1.0);
+  const auto mag = magnitude_spectrum(x);
+  EXPECT_EQ(mag.size(), 128u / 2u + 1u);
+  // DC bin carries all the energy of a constant.
+  EXPECT_GT(mag[0], mag[1]);
+}
+
+// --- STFT -----------------------------------------------------------------------
+
+TEST(Stft, LocalizesAToneBurstInTime) {
+  const double fs = 100.0;
+  std::vector<double> x(std::size_t(10 * fs), 0.0);
+  // A 5 Hz burst from t=4 s to t=6 s.
+  for (std::size_t i = std::size_t(4 * fs); i < std::size_t(6 * fs); ++i) {
+    x[i] = std::sin(2.0 * M_PI * 5.0 * double(i) / fs);
+  }
+  const auto spec = stft(x, fs, 128, 32);
+  ASSERT_GT(spec.num_frames(), 10u);
+
+  const auto energy = spec.band_energy(3.0, 8.0);
+  // Peak energy frame must fall inside the burst.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < energy.size(); ++i) {
+    if (energy[i] > energy[peak]) peak = i;
+  }
+  const double peak_t = double(peak) * spec.frame_interval_s;
+  EXPECT_GT(peak_t, 3.5);
+  EXPECT_LT(peak_t, 6.5);
+  // Quiet frames carry (almost) nothing.
+  EXPECT_LT(energy.front(), 0.01 * energy[peak]);
+}
+
+TEST(Stft, DcRemovedPerWindow) {
+  const double fs = 50.0;
+  std::vector<double> x(500, 42.0);  // big DC, no signal
+  const auto spec = stft(x, fs, 64, 32);
+  for (const auto& frame : spec.frames) {
+    for (const double m : frame) EXPECT_LT(m, 1e-9);
+  }
+}
+
+// --- Gesture classification (unit: synthetic motion envelopes) --------------------
+
+TimeSeries synth_gesture(bool wave, double fs, Rng& rng) {
+  // Emulate the CSI amplitude a gesture produces: baseline + churn whose
+  // envelope follows the gesture's motion rate.
+  const double dur = wave ? 1.5 : 1.2;
+  TimeSeries ts;
+  ts.dt_s = 1.0 / fs;
+  const std::size_t n = std::size_t(dur * fs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = double(i) / fs;
+    const double p = double(i) / double(n);
+    double rate;  // instantaneous motion rate
+    if (wave) {
+      rate = std::sin(M_PI * p) *
+             std::abs(std::cos(2.0 * M_PI * 2.0 * t));
+    } else {
+      rate = std::abs(std::cos(M_PI * p)) * std::sin(M_PI * p);
+    }
+    // Churn: noise scaled by the motion rate.
+    ts.v.push_back(2.0 + 0.5 * rate * rng.gaussian());
+  }
+  return ts;
+}
+
+TEST(Gesture, ClassifiesSyntheticPushAndWave) {
+  Rng rng(7);
+  GestureClassifier classifier;
+  int push_hits = 0, wave_hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    if (classifier.classify(synth_gesture(false, 150.0, rng)) ==
+        Gesture::kPush) {
+      ++push_hits;
+    }
+    if (classifier.classify(synth_gesture(true, 150.0, rng)) ==
+        Gesture::kWave) {
+      ++wave_hits;
+    }
+  }
+  // The crude synthetic generator (pure rate-modulated noise, no
+  // multipath physics) is harder than the real signal — a solid majority
+  // is the right bar here; the end-to-end test below holds the full bar.
+  EXPECT_GE(push_hits, 6);
+  EXPECT_GE(wave_hits, 7);
+}
+
+TEST(Gesture, TemplatesAreDistinct) {
+  GestureClassifier classifier;
+  const auto push_t = classifier.make_template(Gesture::kPush, 100.0);
+  const auto wave_t = classifier.make_template(Gesture::kWave, 100.0);
+  ASSERT_FALSE(push_t.empty());
+  ASSERT_FALSE(wave_t.empty());
+  EXPECT_GT(dtw_distance(push_t, wave_t, 30), 5.0);
+}
+
+// --- Gesture recognition end-to-end through ACK CSI ---------------------------------
+
+TEST(Gesture, EndToEndThroughElicitedAcks) {
+  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 95});
+  sim::RadioConfig rc;
+  rc.position = {5, 0};
+  sim::Device& victim = sim.add_device(
+      {.name = "tv"}, {0x8c, 0x77, 0x12, 9, 9, 9}, rc);
+  sim::RadioConfig rig;
+  rig.position = {0, 0};
+  rig.capture_csi = true;
+  sim::Device& sensor = sim.add_device(
+      {.name = "hub", .kind = sim::DeviceKind::kSniffer},
+      {0x02, 0x0a, 0xc4, 8, 8, 8}, rig);
+
+  // still, push, still, wave, still.
+  scenario::BodyMotionModel model({.seed = 33});
+  model.add_phase(scenario::Activity::kStill, seconds(4));
+  model.add_phase(scenario::Activity::kGesturePush, milliseconds(1200));
+  model.add_phase(scenario::Activity::kStill, seconds(4));
+  model.add_phase(scenario::Activity::kGestureWave, milliseconds(1500));
+  model.add_phase(scenario::Activity::kStill, seconds(4));
+
+  scenario::install_body_csi(sim.medium(), victim.radio(), sensor.radio(),
+                             &model, sim.now());
+
+  core::CsiCollector collector(sensor, victim.address());
+  collector.start(150.0);
+  sim.run_for(model.total_duration());
+  collector.stop();
+
+  const int sc = select_best_subcarrier(collector.samples());
+  const auto series = resample_amplitude(collector.samples(), sc, 150.0);
+
+  GestureClassifier classifier;
+  const auto detections = classifier.detect(series);
+  ASSERT_EQ(detections.size(), 2u);
+  EXPECT_EQ(detections[0].gesture, Gesture::kPush);
+  EXPECT_NEAR(detections[0].start_s - series.t0_s, 4.0, 1.0);
+  EXPECT_EQ(detections[1].gesture, Gesture::kWave);
+  EXPECT_NEAR(detections[1].start_s - series.t0_s, 9.2, 1.0);
+}
+
+}  // namespace
+}  // namespace politewifi::sensing
