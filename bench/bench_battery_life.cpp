@@ -13,6 +13,7 @@
 using namespace politewifi;
 
 int main() {
+  bench::PerfReport perf("battery_life");
   bench::header("Battery life", "camera drain projections under attack");
 
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 42});
@@ -68,5 +69,7 @@ int main() {
   std::snprintf(buf, sizeof buf, "%.0fx", attacked.avg_power_mw /
                                               std::max(idle.avg_power_mw, 1e-9));
   bench::compare("power increase at 900 pps", "35x", buf);
+  perf.add_scheduler(sim.scheduler());
+  perf.finish();
   return ok ? 0 : 1;
 }

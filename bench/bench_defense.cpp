@@ -23,7 +23,8 @@ constexpr MacAddress kApMac{0xf2, 0x6e, 0x0b, 0x01, 0x02, 0x03};
 constexpr MacAddress kVictimMac{0x24, 0x0a, 0xc4, 0xaa, 0xbb, 0xcc};
 constexpr MacAddress kAttackerMac{0x02, 0xde, 0xad, 0xbe, 0xef, 0x08};
 
-double detection_latency(double attack_pps, defense::ThreatKind expected) {
+double detection_latency(double attack_pps, defense::ThreatKind expected,
+                         bench::PerfReport& perf) {
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 92});
   mac::ApConfig apc;
   apc.fast_keys = true;
@@ -66,6 +67,7 @@ double detection_latency(double attack_pps, defense::ThreatKind expected) {
   sim.run_for(seconds(5));
   injector.stop_all();
 
+  perf.add_events(sim.scheduler().events_executed(), sim.now() - kSimStart);
   if (!detected_at) return -1.0;
   return to_seconds(*detected_at - attack_start);
 }
@@ -73,21 +75,23 @@ double detection_latency(double attack_pps, defense::ThreatKind expected) {
 }  // namespace
 
 int main() {
+  bench::PerfReport perf("defense");
   bench::header("Defense (extension)", "detection + mitigation ablation");
 
   bench::section("part 1: detection latency by attack class");
   std::printf("  %-22s %-12s %-14s\n", "attack", "rate (pps)",
               "detected after");
   {
-    const double t1 = detection_latency(150.0, defense::ThreatKind::kSensingPoll);
+    const double t1 =
+        detection_latency(150.0, defense::ThreatKind::kSensingPoll, perf);
     std::printf("  %-22s %-12.0f %.2f s\n", "CSI sensing poll", 150.0, t1);
     const double t2 =
-        detection_latency(900.0, defense::ThreatKind::kBatteryDrain);
+        detection_latency(900.0, defense::ThreatKind::kBatteryDrain, perf);
     std::printf("  %-22s %-12.0f %.2f s\n", "battery drain", 900.0, t2);
   }
 
   bench::section("part 2: battery-drain mitigation ablation (900 pps)");
-  auto run_case = [](bool guarded) {
+  auto run_case = [&perf](bool guarded) {
     sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 93});
     mac::ApConfig apc;
     apc.fast_keys = true;
@@ -124,6 +128,7 @@ int main() {
       std::uint64_t acks;
       bool engaged;
     };
+    perf.add_events(sim.scheduler().events_executed(), sim.now() - kSimStart);
     return Out{victim.radio().energy().average_mw(sim.now()),
                victim.station().stats().acks_sent - acks_before,
                guard ? guard->engaged() : false};
@@ -151,5 +156,6 @@ int main() {
 
   const bool ok = unguarded.mw > 250.0 && guarded.mw < unguarded.mw / 4.0 &&
                   guarded.engaged;
+  perf.finish();
   return ok ? 0 : 1;
 }

@@ -1,0 +1,143 @@
+// Event-engine microbenchmark: the raw scheduler and medium numbers that
+// every experiment above is built from.
+//
+//   1. scheduler push/pop  — 1M timers through the pooled binary heap
+//   2. schedule/cancel churn — the lazy-cancellation path (tombstones)
+//   3. medium fan-out       — one transmitter among 10 / 500 / 5000
+//      attached radios, spatial index on vs off
+//
+// Emits BENCH_event_engine.json in the same format as the experiment
+// benches, so the engine's perf trajectory is tracked PR over PR.
+#include <chrono>
+#include <memory>
+
+#include "bench_util.h"
+#include "sim/medium.h"
+#include "sim/radio.h"
+
+using namespace politewifi;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// 1M schedule + run_all. Returns events/sec.
+double bench_push_pop(bench::PerfReport& perf) {
+  constexpr int kEvents = 1'000'000;
+  sim::Scheduler scheduler;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    // Mixed delays so heap pushes actually sift. 64-bit multiply: the
+    // 32-bit product overflows (UB) around i = 271k, and the optimizer's
+    // no-overflow assumption then turns this into an infinite loop.
+    scheduler.schedule_in(microseconds((std::int64_t{i} * 7919) % 10000),
+                          [&sink] { ++sink; });
+  }
+  scheduler.run_all();
+  const double dt = seconds_since(t0);
+  perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
+  bench::kvf("push+pop 1M events (s)", "%.3f", dt);
+  bench::kvf("push+pop events/sec", "%.0f", kEvents / dt);
+  bench::kvf("pool slots at end", "%.0f", double(scheduler.pool_slots()));
+  return sink == kEvents ? kEvents / dt : 0.0;
+}
+
+/// 1M schedule-then-cancel cycles. The regression this guards: cancel
+/// used to push every id into an unbounded set that pop never fully
+/// drained. Now a cancel tombstones its pooled slot and pop reclaims it,
+/// so memory stays O(live events).
+double bench_cancel_churn(bench::PerfReport& perf) {
+  constexpr int kCycles = 1'000'000;
+  sim::Scheduler scheduler;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCycles; ++i) {
+    const auto id = scheduler.schedule_in(seconds(10), [] {});
+    scheduler.cancel(id);
+    if ((i & 1023) == 0) scheduler.run_for(microseconds(1));
+  }
+  scheduler.run_all();
+  const double dt = seconds_since(t0);
+  bench::kvf("schedule+cancel 1M cycles (s)", "%.3f", dt);
+  bench::kvf("cancel cycles/sec", "%.0f", kCycles / dt);
+  bench::kvf("pool slots at end", "%.0f", double(scheduler.pool_slots()));
+  bench::kvf("tombstones at end", "%.0f", double(scheduler.tombstones()));
+  perf.note("cancel_cycles_per_sec", kCycles / dt);
+  return kCycles / dt;
+}
+
+/// One transmitter among `n` radios scattered over `extent_m`, with or
+/// without the spatial index. Returns transmissions/sec.
+double bench_fanout(bench::PerfReport& perf, std::size_t n, double extent_m,
+                    bool use_index, int rounds) {
+  sim::Scheduler scheduler;
+  sim::MediumConfig mc;
+  mc.shadowing_sigma_db = 0.0;
+  mc.use_spatial_index = use_index;
+  sim::Medium medium(scheduler, mc, /*seed=*/7);
+
+  // Station-less radios: Radio::deliver drops the PPDU when no MAC is
+  // attached, which is exactly what we want — this measures the medium,
+  // not the MAC.
+  Rng rng(1234);
+  std::vector<std::unique_ptr<sim::Radio>> radios;
+  radios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::RadioConfig rc;
+    rc.position = {rng.uniform(0.0, extent_m), rng.uniform(0.0, extent_m)};
+    radios.push_back(
+        std::make_unique<sim::Radio>(medium, scheduler, rc));
+  }
+
+  const Bytes ppdu(64, 0xAA);
+  phy::TxVector tx;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    medium.transmit(*radios[r % n], ppdu, tx);
+    scheduler.run_all();
+  }
+  const double dt = seconds_since(t0);
+  const auto& stats = medium.stats();
+  std::printf(
+      "  %5zu radios  index=%-3s  %7.0f tx/s  (%.2f candidates/tx, "
+      "%.2f receptions/tx)\n",
+      n, use_index ? "on" : "off", rounds / dt,
+      double(stats.candidates_scanned) / double(stats.transmissions),
+      double(stats.receptions) / double(stats.transmissions));
+  perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
+  char key[64];
+  std::snprintf(key, sizeof key, "fanout_%zu_%s_tx_per_sec", n,
+                use_index ? "indexed" : "brute");
+  perf.note(key, rounds / dt);
+  return rounds / dt;
+}
+
+}  // namespace
+
+int main() {
+  bench::PerfReport perf("event_engine");
+  bench::header("Event engine", "scheduler + medium microbenchmarks");
+
+  bench::section("scheduler: push/pop");
+  const double pp = bench_push_pop(perf);
+  perf.note("push_pop_events_per_sec", pp);
+
+  bench::section("scheduler: schedule/cancel churn");
+  bench_cancel_churn(perf);
+
+  bench::section("medium: fan-out (one tx among n radios, 2 km square)");
+  const double scale = bench::env_scale(1.0);
+  const int rounds = scale >= 1.0 ? 2000 : 200;
+  for (const std::size_t n : {std::size_t{10}, std::size_t{500},
+                              std::size_t{5000}}) {
+    bench_fanout(perf, n, 2000.0, /*use_index=*/true, rounds);
+    bench_fanout(perf, n, 2000.0, /*use_index=*/false,
+                 n >= 5000 ? rounds / 10 : rounds);
+  }
+
+  perf.finish();
+  return pp > 0.0 ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 using namespace politewifi;
 
 int main() {
+  bench::PerfReport perf("fig2_ack_exchange");
   bench::header("Figure 2", "victim ACKs fake frames from a stranger");
 
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 2020});
@@ -84,5 +85,7 @@ int main() {
   if (trace.write_pcap(pcap)) {
     bench::kv("pcap written", pcap);
   }
+  perf.add_scheduler(sim.scheduler());
+  perf.finish();
   return acks == kFakes ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 using namespace politewifi;
 
 int main() {
+  bench::PerfReport perf("fig3_deauth_still_acks");
   bench::header("Figure 3", "deauthing AP still ACKs fake frames");
 
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 3});
@@ -76,5 +77,7 @@ int main() {
 
   const bool ok = acks_phase1 == kPhase1 && acks_phase2 == kPhase2 &&
                   deauths_phase1 > 0;
+  perf.add_scheduler(sim.scheduler());
+  perf.finish();
   return ok ? 0 : 1;
 }

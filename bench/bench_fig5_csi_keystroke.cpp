@@ -18,6 +18,7 @@
 using namespace politewifi;
 
 int main() {
+  bench::PerfReport perf("fig5_csi_keystroke");
   bench::header("Figure 5", "CSI of ACKs during still/pickup/hold/typing");
 
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 55});
@@ -157,5 +158,7 @@ int main() {
   const bool shape_ok = pickup.second > 20 * still.second &&
                         typing.second > 1.5 * hold.second &&
                         score.f1() > 0.6;
+  perf.add_scheduler(sim.scheduler());
+  perf.finish();
   return shape_ok ? 0 : 1;
 }

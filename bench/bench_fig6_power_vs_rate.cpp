@@ -8,15 +8,28 @@
 //   - >10 pps: the idle timer never expires, radio pinned on, ~230 mW
 //   - growth linear in rate from per-frame RX + ACK-TX energy,
 //     reaching ~360 mW at 900 pps (~35x the unattacked draw).
+//
+// Each rate point is a complete, independently-seeded simulation, so the
+// sweep fans out across PW_THREADS workers (sim::SweepRunner). Results
+// are bit-identical for any thread count.
 #include "bench_util.h"
 #include "core/battery_attack.h"
 #include "sim/network.h"
+#include "sim/sweep_runner.h"
 
 using namespace politewifi;
 
-int main() {
-  bench::header("Figure 6", "victim power vs fake-frame rate");
+namespace {
 
+struct Point {
+  core::BatteryAttackResult result;
+  std::uint64_t events = 0;
+  Duration simulated{};
+};
+
+/// One self-contained Figure 6 measurement: its own AP, victim, attacker
+/// and scheduler. `rate` in fake frames per second.
+Point measure_rate(double rate, Duration measure) {
   sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 66});
   mac::ApConfig apc;
   apc.fast_keys = true;
@@ -39,17 +52,37 @@ int main() {
   sim.establish(victim, seconds(10));
 
   core::BatteryDrainAttack attack(sim, attacker, victim);
+  Point p;
+  p.result = attack.run(rate, seconds(3), measure);
+  p.events = sim.scheduler().events_executed();
+  p.simulated = sim.now() - kSimStart;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::PerfReport perf("fig6_power_vs_rate");
+  bench::header("Figure 6", "victim power vs fake-frame rate");
 
   const double measure_s = bench::env_scale(1.0) >= 1.0 ? 30.0 : 8.0;
   const std::vector<double> rates{0,   1,   5,   10,  20,  50,  100,
                                   200, 300, 400, 500, 600, 700, 800, 900};
 
+  const sim::SweepRunner runner;
+  std::printf("  sweeping %zu rate points on %u thread(s)\n", rates.size(),
+              runner.threads());
+  const std::vector<Point> points = runner.run_indexed(
+      rates.size(),
+      [&](std::size_t i) { return measure_rate(rates[i], from_seconds(measure_s)); });
+
   bench::section("power vs rate (the Figure 6 series)");
   std::printf("  %-10s %-12s %-12s %-10s %-12s\n", "rate(pps)", "power(mW)",
               "sleep frac", "ACKs", "vs idle");
   double p0 = 0.0, p900 = 0.0, p_awake = 0.0;
-  for (const double rate : rates) {
-    const auto r = attack.run(rate, seconds(3), from_seconds(measure_s));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const auto& r = points[i].result;
     if (rate == 0) p0 = r.avg_power_mw;
     if (rate == 900) p900 = r.avg_power_mw;
     if (rate == 20) p_awake = r.avg_power_mw;
@@ -57,6 +90,7 @@ int main() {
                 r.avg_power_mw, r.sleep_fraction,
                 static_cast<unsigned long long>(r.acks_elicited),
                 r.avg_power_mw / std::max(p0, 1e-9));
+    perf.add_events(points[i].events, points[i].simulated);
   }
 
   bench::section("paper vs measured");
@@ -70,5 +104,8 @@ int main() {
 
   const bool shape_ok = p0 < 40.0 && p_awake > 180.0 && p900 > 300.0 &&
                         p900 / p0 > 10.0;
+  perf.note("threads", runner.threads());
+  perf.note("rate_points", double(rates.size()));
+  perf.finish();
   return shape_ok ? 0 : 1;
 }

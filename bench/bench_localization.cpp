@@ -8,58 +8,80 @@
 // trilaterates their positions — through the walls, with no cooperation.
 //
 // Reports ranging accuracy vs victim SIFS jitter, and end-to-end
-// localization error for a 4-device "house".
+// localization error for a 4-device "house". Both sweeps fan out across
+// PW_THREADS workers (sim::SweepRunner): every jitter point and every
+// localized device is an independent, self-seeded simulation, so the
+// numbers are bit-identical for any thread count.
 #include "bench_util.h"
 #include "core/localizer.h"
 #include "core/ranging.h"
+#include "sim/sweep_runner.h"
 
 using namespace politewifi;
 
-int main() {
-  bench::header("Localization (extension)",
-                "ACK time-of-flight ranging + trilateration (Wi-Peep)");
+namespace {
 
-  // --- Part 1: ranging accuracy vs turnaround jitter ------------------------
-  bench::section("ranging accuracy vs victim SIFS jitter (60 m link)");
-  std::printf("  %-14s %-14s %-14s %-12s\n", "jitter (ns)", "est (m)",
-              "bias (m)", "sigma (m)");
-  for (const double jitter_ns : {0.0, 50.0, 150.0, 300.0}) {
-    sim::Simulation sim(
-        {.medium = {.shadowing_sigma_db = 0.0}, .seed = 90});
-    mac::MacConfig victim_mac;
-    victim_mac.sifs_jitter_ns = jitter_ns;
-    sim::RadioConfig rc;
-    rc.position = {60.0, 0.0};
-    sim.add_device({.name = "victim"}, {0x3c, 0x28, 0x6d, 1, 2, 3}, rc,
-                   victim_mac);
-    sim::RadioConfig rig;
-    sim::Device& attacker = sim.add_device(
-        {.name = "ranger", .kind = sim::DeviceKind::kAttacker},
-        {0x02, 0xde, 0xad, 0xbe, 0xef, 0x06}, rig);
-    core::RttRanger ranger(sim, attacker);
-    const auto est = ranger.range({0x3c, 0x28, 0x6d, 1, 2, 3}, 120);
-    std::printf("  %-14.0f %-14.2f %-14.2f %-12.2f\n", jitter_ns,
-                est.distance_m, est.distance_m - 60.0, est.stddev_m);
-  }
+struct Target {
+  const char* name;
+  MacAddress mac;
+  Position truth;
+};
 
-  // --- Part 2: localize a whole house from outside -----------------------------
-  bench::section("localizing 4 devices in a house from a walk around it");
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 91});
-
-  struct Target {
-    const char* name;
-    MacAddress mac;
-    Position truth;
-  };
-  const std::vector<Target> targets = {
+const std::vector<Target>& house_targets() {
+  static const std::vector<Target> targets = {
       {"smart-tv", {0x8c, 0x77, 0x12, 1, 1, 1}, {6.0, 4.0}},
       {"thermostat", {0x44, 0x61, 0x32, 2, 2, 2}, {2.0, 9.0}},
       {"camera", {0x24, 0x0a, 0xc4, 3, 3, 3}, {11.0, 8.0}},
       {"laptop", {0x3c, 0x28, 0x6d, 4, 4, 4}, {9.0, 2.0}},
   };
+  return targets;
+}
+
+struct RangingPoint {
+  double jitter_ns = 0.0;
+  core::RangeEstimate est;
+  std::uint64_t events = 0;
+  Duration simulated{};
+};
+
+/// Part 1 worker: ranging accuracy over a single 60 m link.
+RangingPoint ranging_accuracy(double jitter_ns) {
+  RangingPoint point;
+  point.jitter_ns = jitter_ns;
+  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 90});
+  mac::MacConfig victim_mac;
+  victim_mac.sifs_jitter_ns = jitter_ns;
+  sim::RadioConfig rc;
+  rc.position = {60.0, 0.0};
+  sim.add_device({.name = "victim"}, {0x3c, 0x28, 0x6d, 1, 2, 3}, rc,
+                 victim_mac);
+  sim::RadioConfig rig;
+  sim::Device& attacker = sim.add_device(
+      {.name = "ranger", .kind = sim::DeviceKind::kAttacker},
+      {0x02, 0xde, 0xad, 0xbe, 0xef, 0x06}, rig);
+  core::RttRanger ranger(sim, attacker);
+  point.est = ranger.range({0x3c, 0x28, 0x6d, 1, 2, 3}, 120);
+  point.events = sim.scheduler().events_executed();
+  point.simulated = sim.now() - kSimStart;
+  return point;
+}
+
+struct Fix {
+  Position position;
+  double error_m = 0.0;
+  std::uint64_t events = 0;
+  Duration simulated{};
+};
+
+/// Part 2 worker: localize one house device from a walk around the house.
+/// The whole house is present in each worker's simulation (neighbouring
+/// radios are part of the RF environment), but each worker only walks the
+/// perimeter for its own target.
+Fix localize_target(std::size_t target_index) {
+  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 91});
   mac::MacConfig quirk;
   quirk.sifs_jitter_ns = 120.0;  // realistic silicon
-  for (const auto& t : targets) {
+  for (const auto& t : house_targets()) {
     sim::RadioConfig rc;
     rc.position = t.truth;
     sim.add_device({.name = t.name}, t.mac, rc, quirk);
@@ -76,33 +98,73 @@ int main() {
       {-4, -3}, {7, -4}, {17, -2}, {18, 6}, {16, 13}, {6, 14}, {-4, 12},
       {-5, 5}};
 
+  const Target& t = house_targets()[target_index];
+  std::vector<core::RangeObservation> obs;
+  for (const auto& anchor : anchors) {
+    attacker.radio().set_position(anchor);
+    const auto est = ranger.range(t.mac, 30);
+    if (est.measurements < 10) continue;
+    obs.push_back({anchor, est.distance_m,
+                   1.0 / std::max(est.stddev_m * est.stddev_m, 1.0)});
+  }
+  Fix fix;
+  fix.position = core::trilaterate(obs).position;
+  fix.error_m = distance(fix.position, t.truth);
+  fix.events = sim.scheduler().events_executed();
+  fix.simulated = sim.now() - kSimStart;
+  return fix;
+}
+
+}  // namespace
+
+int main() {
+  bench::PerfReport perf("localization");
+  bench::header("Localization (extension)",
+                "ACK time-of-flight ranging + trilateration (Wi-Peep)");
+
+  const sim::SweepRunner runner;
+
+  // --- Part 1: ranging accuracy vs turnaround jitter ------------------------
+  const std::vector<double> jitters{0.0, 50.0, 150.0, 300.0};
+  const std::vector<RangingPoint> points = runner.run_indexed(
+      jitters.size(), [&](std::size_t i) { return ranging_accuracy(jitters[i]); });
+
+  bench::section("ranging accuracy vs victim SIFS jitter (60 m link)");
+  std::printf("  %-14s %-14s %-14s %-12s\n", "jitter (ns)", "est (m)",
+              "bias (m)", "sigma (m)");
+  for (const auto& p : points) {
+    std::printf("  %-14.0f %-14.2f %-14.2f %-12.2f\n", p.jitter_ns,
+                p.est.distance_m, p.est.distance_m - 60.0, p.est.stddev_m);
+    perf.add_events(p.events, p.simulated);
+  }
+
+  // --- Part 2: localize a whole house from outside -----------------------------
+  bench::section("localizing 4 devices in a house from a walk around it");
+  const std::vector<Fix> fixes = runner.run_indexed(
+      house_targets().size(), [](std::size_t i) { return localize_target(i); });
+
   std::printf("  %-12s %-18s %-18s %-10s\n", "device", "truth (x,y)",
               "estimate (x,y)", "error (m)");
   double worst = 0.0, sum = 0.0;
-  for (const auto& t : targets) {
-    std::vector<core::RangeObservation> obs;
-    for (const auto& anchor : anchors) {
-      attacker.radio().set_position(anchor);
-      const auto est = ranger.range(t.mac, 30);
-      if (est.measurements < 10) continue;
-      obs.push_back({anchor, est.distance_m,
-                     1.0 / std::max(est.stddev_m * est.stddev_m, 1.0)});
-    }
-    const auto fix = core::trilaterate(obs);
-    const double err = distance(fix.position, t.truth);
-    worst = std::max(worst, err);
-    sum += err;
+  for (std::size_t i = 0; i < fixes.size(); ++i) {
+    const Target& t = house_targets()[i];
+    const Fix& fix = fixes[i];
+    worst = std::max(worst, fix.error_m);
+    sum += fix.error_m;
     std::printf("  %-12s (%5.1f, %5.1f)     (%5.1f, %5.1f)     %-10.2f\n",
                 t.name, t.truth.x, t.truth.y, fix.position.x, fix.position.y,
-                err);
+                fix.error_m);
+    perf.add_events(fix.events, fix.simulated);
   }
 
   bench::section("summary");
   bench::kvf("mean localization error (m)", "%.2f",
-             sum / double(targets.size()));
+             sum / double(fixes.size()));
   bench::kvf("worst localization error (m)", "%.2f", worst);
   bench::kv("victim cooperation required", "none — only politeness");
   // Wi-Peep reports metre-scale errors with cheap hardware; ranging bias
   // from one-sided jitter dominates ours similarly.
+  perf.note("threads", runner.threads());
+  perf.finish();
   return worst < 10.0 ? 0 : 1;
 }

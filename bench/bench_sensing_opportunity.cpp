@@ -17,6 +17,7 @@
 using namespace politewifi;
 
 int main() {
+  bench::PerfReport perf("sensing_opportunity");
   bench::header("Sensing opportunity (§4.3)",
                 "one modified device senses via neighbours' ACKs");
 
@@ -131,5 +132,7 @@ int main() {
   bench::compare("breathing-rate open question", "future work",
                  breathing_ok ? "answered: recovered to <1.5 bpm" : "missed");
 
+  perf.add_scheduler(sim.scheduler());
+  perf.finish();
   return (two_events && breathing_ok && tv_occupied) ? 0 : 1;
 }

@@ -69,6 +69,8 @@ struct AblationResult {
   std::uint64_t fake_acks = 0;      // ACKs elicited by the attacker
   std::uint64_t fake_rejected = 0;  // fakes dropped pre-ACK (validating)
   std::uint64_t cts_sent = 0;       // responses to fake RTS
+  std::uint64_t events = 0;
+  Duration simulated{};
 };
 
 AblationResult run_link(mac::AckPolicyMode policy, int n_frames,
@@ -133,12 +135,15 @@ AblationResult run_link(mac::AckPolicyMode policy, int n_frames,
                 (receiver.station().stats().cts_sent - cts_before) * 0;
   r.fake_rejected = receiver.station().stats().validations_rejected;
   r.cts_sent = receiver.station().stats().cts_sent;
+  r.events = sim.scheduler().events_executed();
+  r.simulated = sim.now() - kSimStart;
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::PerfReport perf("sifs_ablation");
   bench::header("SIFS ablation (§2.2)", "why Polite WiFi is unpreventable");
 
   bench::section("part 1: software CCMP decode cost (google-benchmark)");
@@ -199,5 +204,8 @@ int main(int argc, char** argv) {
   const bool ok = polite.tx_failures == 0 && polite.fake_acks >= kFakes - 1 &&
                   validating.tx_success <= 2 &&
                   validating.cts_sent >= kFakes - 1;
+  perf.add_events(polite.events, polite.simulated);
+  perf.add_events(validating.events, validating.simulated);
+  perf.finish();
   return ok ? 0 : 1;
 }

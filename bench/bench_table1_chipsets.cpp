@@ -4,11 +4,15 @@
 // and ESP32 from §4) with its own chipset profile, attacks it with fake
 // frames from an unassociated stranger, and reports whether it exhibits
 // Polite WiFi. The paper's finding: every one of them does.
+// Each device is attacked in its own simulation, so the table fans out
+// across PW_THREADS workers (sim::SweepRunner) with bit-identical rows
+// for any thread count.
 #include "bench_util.h"
 #include "core/injector.h"
 #include "scenario/device_profiles.h"
 #include "scenario/oui_db.h"
 #include "sim/network.h"
+#include "sim/sweep_runner.h"
 
 using namespace politewifi;
 
@@ -18,6 +22,8 @@ struct Row {
   scenario::ChipsetProfile profile;
   int fakes = 0;
   int acks = 0;
+  std::uint64_t events = 0;
+  Duration simulated{};
 };
 
 Row attack_device(const scenario::ChipsetProfile& profile,
@@ -59,7 +65,8 @@ Row attack_device(const scenario::ChipsetProfile& profile,
       {0x02, 0x12, 0x34, 0x56, 0x78, 0x9a}, rig);
 
   core::FakeFrameInjector injector(attacker);
-  Row row{profile, 0, 0};
+  Row row;
+  row.profile = profile;
   const auto before = target->station().stats().acks_sent;
   for (int i = 0; i < 50; ++i) {
     injector.inject_one(target->address());
@@ -67,16 +74,27 @@ Row attack_device(const scenario::ChipsetProfile& profile,
     ++row.fakes;
   }
   row.acks = int(target->station().stats().acks_sent - before);
+  row.events = sim.scheduler().events_executed();
+  row.simulated = sim.now() - kSimStart;
   return row;
 }
 
 }  // namespace
 
 int main() {
+  bench::PerfReport perf("table1_chipsets");
   bench::header("Table 1", "Polite WiFi across chipsets/devices");
 
   std::vector<scenario::ChipsetProfile> profiles = scenario::table1_devices();
   profiles.push_back(scenario::esp8266());
+
+  // Touch the shared immutable singletons before fanning out workers.
+  scenario::OuiDatabase::instance();
+
+  const sim::SweepRunner runner;
+  const std::vector<Row> rows = runner.run_indexed(
+      profiles.size(),
+      [&](std::size_t i) { return attack_device(profiles[i], 100 + i); });
 
   std::printf("\n  %-22s %-20s %-9s %-7s %-10s\n", "Device", "WiFi module",
               "Standard", "Band", "ACKs/fakes");
@@ -84,19 +102,21 @@ int main() {
               "--------", "----", "----------");
 
   bool all_polite = true;
-  std::uint64_t seed = 100;
-  for (const auto& profile : profiles) {
-    const Row row = attack_device(profile, seed++);
+  for (const Row& row : rows) {
     std::printf("  %-22s %-20s %-9s %-7s %d/%d %s\n",
                 row.profile.device_name.c_str(),
                 row.profile.wifi_module.c_str(), row.profile.standard.c_str(),
                 phy::band_name(row.profile.band), row.acks, row.fakes,
                 row.acks == row.fakes ? "POLITE" : "(!)");
     all_polite = all_polite && row.acks == row.fakes;
+    perf.add_events(row.events, row.simulated);
   }
 
   bench::section("results");
   bench::compare("devices showing Polite WiFi", "5/5 (all tested)",
                  all_polite ? "6/6 (all tested, incl. ESP8266)" : "NOT ALL");
+  perf.note("threads", runner.threads());
+  perf.note("devices", double(rows.size()));
+  perf.finish();
   return all_polite ? 0 : 1;
 }

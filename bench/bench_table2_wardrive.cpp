@@ -18,6 +18,7 @@ using namespace politewifi;
 
 int main() {
   const double scale = bench::env_scale(1.0);
+  bench::PerfReport perf("table2_wardrive");
   bench::header("Table 2", "wardriving survey (scale " +
                                std::to_string(scale) + ")");
 
@@ -31,7 +32,9 @@ int main() {
               plan.ap_count(), plan.client_count(),
               plan.route_length_m() / 1000.0);
 
-  sim::Simulation sim({.seed = 2020});
+  sim::SimulationConfig sc{.seed = 2020};
+  if (std::getenv("PW_NO_INDEX")) sc.medium.use_spatial_index = false;
+  sim::Simulation sim(sc);
   core::WardriveConfig cfg;
   cfg.speed_mps = 11.0;  // ~40 km/h; the full route takes about an hour
   core::WardriveCampaign campaign(sim, plan, cfg);
@@ -62,5 +65,21 @@ int main() {
   bench::section("Table 2 (top-20 vendors, as surveyed)");
   core::print_table2(std::cout, report.client_table, report.ap_table);
 
+  perf.add_scheduler(sim.scheduler());
+  perf.note("scale", scale);
+  perf.note("radios", double(plan.ap_count() + plan.client_count()));
+  const auto& ms = sim.medium().stats();
+  perf.note("transmissions", double(ms.transmissions));
+  perf.note("candidates_per_tx",
+            double(ms.candidates_scanned) / double(ms.transmissions));
+  perf.note("receptions_per_tx",
+            double(ms.receptions) / double(ms.transmissions));
+  perf.note("link_cache_hit_rate",
+            double(ms.link_cache_hits) /
+                double(ms.link_cache_hits + ms.link_cache_misses));
+  perf.note("fer_cache_hit_rate",
+            double(ms.fer_cache_hits) /
+                double(ms.fer_cache_hits + ms.fer_cache_misses));
+  perf.finish();
   return report.response_rate() > 0.97 ? 0 : 1;
 }

@@ -108,11 +108,22 @@ class WardriveCampaign {
   std::unique_ptr<FakeFrameInjector> injector_;
   std::unique_ptr<sim::WaypointMover> mover_;
 
+  /// One round-robin slot per discovered device. `done` latches once the
+  /// target has responded or exhausted its attempts, so the 500 Hz
+  /// injection scan skips it with a flag test instead of re-running the
+  /// set/map lookups every tick. Entries are never removed — indices (and
+  /// therefore the round-robin injection order) stay identical to a
+  /// naive rescan.
+  struct TargetEntry {
+    MacAddress mac;
+    int attempts = 0;
+    bool done = false;
+  };
+
   std::vector<CityNode> nodes_;
-  std::vector<MacAddress> target_queue_;  // discovered, pending verification
+  std::vector<TargetEntry> target_queue_;  // discovered, pending verification
   std::size_t next_target_ = 0;
   std::set<MacAddress> responded_;
-  std::unordered_map<MacAddress, int> attempts_;
   // Attribution state for the verification tap.
   TimePoint last_injection_at_{};
   MacAddress last_injection_target_{};

@@ -4,9 +4,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/clock.h"
+#include "common/small_fn.h"
 #include "frames/frame.h"
 #include "phy/signal.h"
 
@@ -19,8 +19,11 @@ class MacEnvironment {
   /// Current simulation time.
   virtual TimePoint now() const = 0;
 
-  /// One-shot timer; returns a cancellation handle.
-  virtual std::uint64_t schedule(Duration delay, std::function<void()> fn) = 0;
+  /// One-shot timer; returns a cancellation handle. The callback type
+  /// stores typical captures inline (common/small_fn.h), so arming a MAC
+  /// timer — an ACK timeout per injected frame, at city scale — does not
+  /// allocate.
+  virtual std::uint64_t schedule(Duration delay, SmallFn fn) = 0;
   virtual void cancel(std::uint64_t timer_id) = 0;
 
   /// Hands a frame to the PHY for immediate transmission. The PHY/medium

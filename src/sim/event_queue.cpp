@@ -1,49 +1,105 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 namespace politewifi::sim {
 
-Scheduler::EventId Scheduler::schedule_at(TimePoint at,
-                                          std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(at, now_), id, std::move(fn)});
-  return id;
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
-bool Scheduler::dispatch(Event& ev) {
-  if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return false;
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = pool_[index];
+  slot.fn.reset();
+  slot.armed = false;
+  slot.cancelled = false;
+  ++slot.generation;  // invalidates any EventId still pointing here
+  free_slots_.push_back(index);
+}
+
+Scheduler::EventId Scheduler::schedule_at(TimePoint at, Callback fn) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = pool_[index];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  heap_.push_back(HeapEntry{std::max(at, now_), next_seq_++, index});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return make_id(index, slot.generation);
+}
+
+void Scheduler::cancel(EventId id) {
+  const std::uint64_t offset = id >> 32;
+  if (offset == 0 || offset > pool_.size()) return;
+  Slot& slot = pool_[offset - 1];
+  if (!slot.armed || slot.cancelled ||
+      slot.generation != static_cast<std::uint32_t>(id)) {
+    return;  // already fired, already cancelled, or slot was recycled
   }
-  now_ = ev.at;
-  ++executed_;
-  ev.fn();
-  return true;
+  slot.cancelled = true;
+  slot.fn.reset();  // drop captured buffers now, not at pop time
+  ++tombstones_;
+  // Pop-time reclamation alone can't bound memory when cancelled events
+  // sit far in the future (schedule/cancel churn never reaches them).
+  // Once tombstones dominate, sweep them out in one O(n) pass — amortized
+  // O(1) per cancel.
+  if (tombstones_ > heap_.size() / 2 && heap_.size() >= 64) compact();
+}
+
+void Scheduler::compact() {
+  auto live_end = std::remove_if(
+      heap_.begin(), heap_.end(), [this](const HeapEntry& e) {
+        if (!pool_[e.slot].cancelled) return false;
+        release_slot(e.slot);
+        return true;
+      });
+  heap_.erase(live_end, heap_.end());
+  tombstones_ = 0;
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+bool Scheduler::pop_one(bool bounded, TimePoint limit) {
+  while (!heap_.empty()) {
+    if (bounded && heap_.front().at > limit) return false;
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+
+    Slot& slot = pool_[top.slot];
+    if (slot.cancelled) {  // tombstone: reclaim and keep looking
+      --tombstones_;
+      release_slot(top.slot);
+      continue;
+    }
+    // Move the callback out and free the slot *before* invoking: the
+    // callback may schedule new events (growing the pool) or try to
+    // cancel itself (a no-op once the generation is bumped).
+    Callback fn = std::move(slot.fn);
+    release_slot(top.slot);
+    now_ = top.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
 }
 
 void Scheduler::run_until(TimePoint until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event ev = queue_.top();  // copy: fn may schedule and reallocate
-    queue_.pop();
-    dispatch(ev);
+  while (pop_one(/*bounded=*/true, until)) {
   }
   now_ = std::max(now_, until);
 }
 
 void Scheduler::run_all() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+  while (pop_one(/*bounded=*/false, TimePoint{})) {
   }
 }
 
-bool Scheduler::run_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (dispatch(ev)) return true;
-  }
-  return false;
-}
+bool Scheduler::run_one() { return pop_one(/*bounded=*/false, TimePoint{}); }
 
 }  // namespace politewifi::sim

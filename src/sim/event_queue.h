@@ -4,35 +4,51 @@
 // (SIFS turnarounds, ACK timeouts, beacon intervals, injection schedules,
 // sleep cycles) is expressed as events on this queue, giving the
 // nanosecond determinism the protocol's argument depends on.
+//
+// Engine notes (the city-scale hot path):
+//  - Callbacks are SmallFn, not std::function: captures up to 128 bytes
+//    live inline, so scheduling an event performs zero heap allocations.
+//  - Callback storage is pooled. The heap itself holds 16-byte
+//    {time, seq, slot} entries; the callable lives in a recycled slot,
+//    so heap sift-ups move trivial structs instead of closures.
+//  - Cancellation is lazy and bounded: cancel() destroys the callback
+//    immediately (dropping captured buffers) and leaves a tombstone that
+//    the pop loop reclaims; when tombstones outnumber live events the
+//    heap is swept in one compaction pass. Nothing grows with the number
+//    of cancels — the old unordered_set of cancelled ids, which leaked
+//    one entry for every cancel that raced an already-fired event, is
+//    gone.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/small_fn.h"
 
 namespace politewifi::sim {
 
 class Scheduler {
  public:
   using EventId = std::uint64_t;
+  using Callback = SmallFn;
 
   TimePoint now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (>= now).
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `at` (>= now). Events scheduled for
+  /// the same instant fire in scheduling order (FIFO).
+  EventId schedule_at(TimePoint at, Callback fn);
 
   /// Schedules `fn` after `delay`.
-  EventId schedule_in(Duration delay, std::function<void()> fn) {
+  EventId schedule_in(Duration delay, Callback fn) {
     return schedule_at(now_ + std::max(delay, Duration::zero()), std::move(fn));
   }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id
-  /// is a harmless no-op (timers race with the events that obsolete them).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// is a harmless no-op (timers race with the events that obsolete them):
+  /// ids carry the slot's generation, so a stale id can never hit an
+  /// event that recycled the same pool slot.
+  void cancel(EventId id);
 
   /// Runs events with time <= `until`, then advances the clock to `until`.
   void run_until(TimePoint until);
@@ -46,29 +62,59 @@ class Scheduler {
   /// Executes the single earliest event, if any. Returns false when empty.
   bool run_one();
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Live (non-cancelled) events still queued.
+  std::size_t pending() const { return heap_.size() - tombstones_; }
   std::uint64_t events_executed() const { return executed_; }
 
+  // --- engine introspection (tests and the event-engine bench) -------------
+
+  /// Pool slots ever allocated: the scheduler's high-water mark of
+  /// simultaneously pending events. Stays flat under schedule/cancel churn.
+  std::size_t pool_slots() const { return pool_.size(); }
+  /// Cancelled events awaiting reclamation at pop time.
+  std::size_t tombstones() const { return tombstones_; }
+
  private:
-  struct Event {
+  struct HeapEntry {
     TimePoint at;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // FIFO tiebreak among simultaneous events
+    std::uint32_t slot;  // index into pool_
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      // Min-heap on (time, id): FIFO among simultaneous events.
-      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      // Min-heap on (time, seq): FIFO among simultaneous events.
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;  // bumped on release; validates EventIds
+    bool armed = false;            // true while an event occupies the slot
+    bool cancelled = false;        // tombstone: reclaim at pop, don't run
+  };
 
-  bool dispatch(Event& ev);
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    // Slot is offset by one so id 0 is never produced (callers use 0 as
+    // a "no timer" sentinel).
+    return (std::uint64_t(slot) + 1) << 32 | generation;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  /// Sweeps every tombstone out of the heap and re-heapifies. Called when
+  /// tombstones outnumber live events; amortized O(1) per cancel.
+  void compact();
+  /// Pops and runs the earliest live event with at <= limit, reclaiming
+  /// any tombstones on the way. Returns false if none qualifies.
+  bool pop_one(bool bounded, TimePoint limit);
 
   TimePoint now_ = kSimStart;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t tombstones_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> pool_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace politewifi::sim

@@ -1,6 +1,7 @@
 #include "sim/medium.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "frames/serializer.h"
@@ -24,16 +25,172 @@ std::uint64_t pair_key(std::uint64_t a, std::uint64_t b) {
   return splitmix(a * 0x100000001b3ULL + b);
 }
 
+/// Hard bound on |z| from the Box–Muller draw in link_shadowing_db: the
+/// uniform u1 is at least 2^-54, so sqrt(-2 ln u1) <= sqrt(108 ln 2)
+/// ~= 8.6524 and |cos| <= 1. Any radio farther than the range this bound
+/// implies is provably below detect_threshold_dbm — skipping it cannot
+/// change the reception set.
+constexpr double kShadowingBoundSigmas = 8.6524;
+
+/// EIRP ceiling used only to size grid cells (regulatory-max-ish). The
+/// per-transmission query radius uses the frame's actual power.
+constexpr double kCellSizingTxPowerDbm = 30.0;
+
+constexpr double kMinCellSizeM = 25.0;
+constexpr double kMaxCellSizeM = 4096.0;
+
+/// Direct-mapped link-cache sizing: ~this many cache lines per attached
+/// radio (a beaconing AP touches every same-channel radio in range, so
+/// the live working set scales with the population), clamped so a
+/// hello-world sim doesn't pay megabytes and a city doesn't grow without
+/// bound. 2^21 lines * 24 B = 48 MB worst case.
+constexpr std::size_t kLinkCacheLinesPerRadio = 256;
+constexpr std::size_t kLinkCacheMinLines = 1u << 12;
+constexpr std::size_t kLinkCacheMaxLines = 1u << 21;
+
+std::uint64_t chan_key_of(const Radio& r) {
+  return (static_cast<std::uint64_t>(r.config().band) << 32) |
+         static_cast<std::uint32_t>(r.config().channel);
+}
+
 }  // namespace
 
 Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
-    : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {}
+    : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {
+  // Cell edge = detection range at the EIRP ceiling on 2.4 GHz (the band
+  // with the smaller reference loss, i.e. the longer reach), so one ring
+  // of neighbour cells always covers a real frame's detection disc.
+  const double f24 = phy::channel_frequency_hz(phy::Band::k2_4GHz, 6);
+  const double r = max_detect_range_m(kCellSizingTxPowerDbm, f24);
+  cell_size_m_ = std::clamp(r > 0.0 ? r : kMinCellSizeM, kMinCellSizeM,
+                            kMaxCellSizeM);
+  // The noise floor is a constant of the config; computing it here (with
+  // the same expressions the per-reception path used to run) keeps every
+  // downstream SINR bit-identical while removing two libm calls per
+  // reception.
+  noise_mw_ = dbm_to_mw(thermal_noise_dbm(phy::kChannelBandwidthHz) +
+                        config_.noise_figure_db);
+  noise_floor_dbm_ = mw_to_dbm(noise_mw_);
+}
 
-void Medium::attach(Radio* radio) { radios_.push_back(radio); }
+double Medium::max_detect_range_m(double tx_power_dbm,
+                                  double frequency_hz) const {
+  for (const RangeMemo& m : range_memo_) {
+    if (m.power_dbm == tx_power_dbm && m.freq_hz == frequency_hz) {
+      return m.range_m;
+    }
+  }
+  const phy::LogDistancePathLoss model(
+      {.exponent = config_.path_loss_exponent,
+       .reference_m = 1.0,
+       .shadowing_sigma_db = 0.0},
+      frequency_hz);
+  const double shadow_bound_db =
+      config_.shadowing_sigma_db > 0.0
+          ? kShadowingBoundSigmas * config_.shadowing_sigma_db
+          : 0.0;
+  const double headroom_db = tx_power_dbm + shadow_bound_db -
+                             config_.detect_threshold_dbm -
+                             model.reference_loss_db();
+  const double d =
+      std::pow(10.0, headroom_db / (10.0 * config_.path_loss_exponent));
+  // loss_db floors the distance at 0.1 m; below that the frame is
+  // undetectable even with zero separation.
+  const double range = d < 0.1 ? 0.0 : d;
+  range_memo_[range_memo_next_++ & 7] =
+      RangeMemo{tx_power_dbm, frequency_hz, range};
+  return range;
+}
+
+std::int32_t Medium::cell_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_m_));
+}
+
+std::uint64_t Medium::cell_key_for(const Position& p) const {
+  return (static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(cell_coord(p.x)))
+          << 32) |
+         static_cast<std::uint32_t>(cell_coord(p.y));
+}
+
+void Medium::index_insert(Radio* radio) {
+  radio->grid_chan_ = chan_key_of(*radio);
+  radio->grid_cell_ = cell_key_for(radio->position());
+  auto& cell = grid_[radio->grid_chan_][radio->grid_cell_];
+  // Cells stay sorted by attach order, so fan-out can merge them instead
+  // of sorting per transmission. Fresh attachments always land at the
+  // end (attach order is monotonic); only a move/retune of an old radio
+  // pays the binary search + mid-vector insert.
+  if (cell.empty() || cell.back()->attach_order_ < radio->attach_order_) {
+    cell.push_back(radio);
+  } else {
+    cell.insert(std::upper_bound(cell.begin(), cell.end(), radio,
+                                 [](const Radio* a, const Radio* b) {
+                                   return a->attach_order_ < b->attach_order_;
+                                 }),
+                radio);
+  }
+  radio->grid_indexed_ = true;
+}
+
+void Medium::index_remove(Radio* radio) {
+  if (!radio->grid_indexed_) return;
+  auto git = grid_.find(radio->grid_chan_);
+  if (git != grid_.end()) {
+    auto cit = git->second.find(radio->grid_cell_);
+    if (cit != git->second.end()) {
+      auto& cell = cit->second;
+      if (auto it = std::find(cell.begin(), cell.end(), radio);
+          it != cell.end()) {
+        cell.erase(it);  // order-preserving: cells stay in attach order
+      }
+      if (cell.empty()) git->second.erase(cit);
+    }
+  }
+  radio->grid_indexed_ = false;
+}
+
+void Medium::attach(Radio* radio) {
+  radio->attach_order_ = next_attach_order_++;
+  radios_.push_back(radio);
+  index_insert(radio);
+  maybe_grow_link_cache();
+  ++static_epoch_;
+}
 
 void Medium::detach(Radio* radio) {
+  index_remove(radio);
   std::erase(radios_, radio);
-  active_.erase(radio);
+  std::erase(volatile_radios_, radio);
+  ++static_epoch_;
+}
+
+void Medium::mark_volatile(Radio& radio) {
+  if (radio.volatile_) return;
+  radio.volatile_ = true;
+  volatile_radios_.insert(
+      std::upper_bound(volatile_radios_.begin(), volatile_radios_.end(),
+                       &radio,
+                       [](const Radio* a, const Radio* b) {
+                         return a->attach_order_ < b->attach_order_;
+                       }),
+      &radio);
+  ++static_epoch_;
+}
+
+void Medium::on_radio_moved(Radio& radio) {
+  mark_volatile(radio);
+  if (!radio.grid_indexed_) return;
+  const std::uint64_t cell = cell_key_for(radio.position());
+  if (cell == radio.grid_cell_) return;
+  index_remove(&radio);
+  index_insert(&radio);
+}
+
+void Medium::on_radio_retuned(Radio& radio) {
+  mark_volatile(radio);
+  index_remove(&radio);
+  index_insert(&radio);
 }
 
 double Medium::link_shadowing_db(const Radio& a, const Radio& b) const {
@@ -47,16 +204,235 @@ double Medium::link_shadowing_db(const Radio& a, const Radio& b) const {
   return z * config_.shadowing_sigma_db;
 }
 
-double Medium::rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
+void Medium::maybe_grow_link_cache() {
+  const std::size_t want = std::clamp(
+      std::bit_ceil(radios_.size() * kLinkCacheLinesPerRadio),
+      kLinkCacheMinLines, kLinkCacheMaxLines);
+  if (want <= link_cache_.size()) return;
+  link_cache_.assign(want, LinkBudget{});  // key 0 = empty line
+  link_cache_mask_ = want - 1;
+  fer_cache_.assign(want, FerMemoEntry{});  // sinr_db NaN = empty line
+  fer_cache_mask_ = want - 1;
+}
+
+double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
+                                       double sinr_db,
+                                       std::size_t octets) const {
+  const std::uint64_t sinr_bits = std::bit_cast<std::uint64_t>(sinr_db);
+  const std::uint32_t packed =
+      (std::uint32_t(octets) << 1) |
+      (rate.modulation == phy::Modulation::kDsss ? 1u : 0u);
+  const std::uint64_t h =
+      splitmix(sinr_bits ^ (std::uint64_t(packed) << 32) ^
+               std::bit_cast<std::uint64_t>(rate.mbps));
+  FerMemoEntry& e = fer_cache_[h & fer_cache_mask_];
+  if (std::bit_cast<std::uint64_t>(e.sinr_db) == sinr_bits &&
+      e.packed == packed && e.mbps == rate.mbps &&
+      e.ndbps == rate.bits_per_symbol) {
+    ++stats_.fer_cache_hits;
+    return e.fer;
+  }
+  ++stats_.fer_cache_misses;
+  const double fer = phy::frame_error_rate(rate, sinr_db, octets);
+  e = FerMemoEntry{sinr_db, rate.mbps, fer, packed, rate.bits_per_symbol};
+  return fer;
+}
+
+double Medium::link_gain_db(const Radio& tx_radio,
                             const Radio& rx_radio) const {
+  // Directed key: the budget depends on the transmitter's frequency, so
+  // (a->b) and (b->a) are distinct entries when the radios are tuned
+  // differently. Ids are per-medium and sequential, so they fit 32 bits
+  // for any simulation this side of the heat death.
+  const bool cacheable = !link_cache_.empty() &&
+                         tx_radio.id() < (1ULL << 32) &&
+                         rx_radio.id() < (1ULL << 32);
+  const std::uint64_t key = (tx_radio.id() << 32) | rx_radio.id();
+  LinkBudget* line = nullptr;
+  if (cacheable) {
+    line = &link_cache_[splitmix(key) & link_cache_mask_];
+    if (line->key == key && line->tx_version == tx_radio.geometry_version_ &&
+        line->rx_version == rx_radio.geometry_version_) {
+      ++stats_.link_cache_hits;
+      return line->gain_db;
+    }
+  }
+  ++stats_.link_cache_misses;
   const phy::LogDistancePathLoss model(
       {.exponent = config_.path_loss_exponent,
        .reference_m = 1.0,
        .shadowing_sigma_db = 0.0},
       tx_radio.frequency_hz());
   const double d = distance(tx_radio.position(), rx_radio.position());
-  return tx_power_dbm - model.loss_db(d) +
-         link_shadowing_db(tx_radio, rx_radio);
+  const double gain =
+      -model.loss_db(d) + link_shadowing_db(tx_radio, rx_radio);
+  if (line != nullptr) {
+    *line = LinkBudget{key, tx_radio.geometry_version_,
+                       rx_radio.geometry_version_, gain};
+  }
+  return gain;
+}
+
+double Medium::rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
+                            const Radio& rx_radio) const {
+  return tx_power_dbm + link_gain_db(tx_radio, rx_radio);
+}
+
+void Medium::collect_candidates(const Radio& sender, double tx_power_dbm,
+                                std::vector<Radio*>& out) const {
+  const auto git = grid_.find(chan_key_of(sender));
+  if (git == grid_.end()) return;
+  const double r = max_detect_range_m(tx_power_dbm, sender.frequency_hz());
+  if (r <= 0.0) return;
+  const Position c = sender.position();
+  const double r2 = r * r;
+  const std::int32_t cx0 = cell_coord(c.x - r);
+  const std::int32_t cx1 = cell_coord(c.x + r);
+  const std::int32_t cy0 = cell_coord(c.y - r);
+  const std::int32_t cy1 = cell_coord(c.y + r);
+  // Distance from a coordinate to the nearest point of a cell's extent.
+  const auto axis_gap = [this](double v, std::int32_t cell) {
+    const double lo = cell * cell_size_m_;
+    const double hi = lo + cell_size_m_;
+    return v < lo ? lo - v : (v > hi ? v - hi : 0.0);
+  };
+  // Gather the (few) cells intersecting the detection disc. Each cell's
+  // list is already sorted by attach order, so a k-way merge reproduces
+  // the brute-force iteration order byte-identically without the
+  // per-transmission sort that used to dominate fan-out at city scale.
+  struct Run {
+    Radio* const* it;
+    Radio* const* end;
+  };
+  Run runs[16];
+  std::size_t nruns = 0;
+  std::vector<const std::vector<Radio*>*> overflow;
+  const auto add_cell = [&](const std::vector<Radio*>& cell) {
+    if (cell.empty()) return;
+    if (nruns < std::size(runs)) {
+      runs[nruns++] = Run{cell.data(), cell.data() + cell.size()};
+    } else {
+      overflow.push_back(&cell);  // >16 cells: huge radius corner
+    }
+  };
+  const std::size_t disc_cells =
+      std::size_t(cx1 - cx0 + 1) * std::size_t(cy1 - cy0 + 1);
+  if (git->second.size() <= disc_cells) {
+    // Fewer occupied cells than cells under the disc (the common case
+    // with detection-range-sized cells): walk the map once instead of
+    // probing the hash per disc cell.
+    for (const auto& [key, cell] : git->second) {
+      const auto cx = static_cast<std::int32_t>(key >> 32);
+      const auto cy = static_cast<std::int32_t>(key);
+      if (cx < cx0 || cx > cx1 || cy < cy0 || cy > cy1) continue;
+      const double gx = axis_gap(c.x, cx);
+      const double gy = axis_gap(c.y, cy);
+      if (gx * gx + gy * gy > r2) continue;  // cell outside detection disc
+      add_cell(cell);
+    }
+  } else {
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+      const double gx = axis_gap(c.x, cx);
+      for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+        const double gy = axis_gap(c.y, cy);
+        if (gx * gx + gy * gy > r2) continue;
+        const auto cit = git->second.find(
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx))
+             << 32) |
+            static_cast<std::uint32_t>(cy));
+        if (cit == git->second.end()) continue;
+        add_cell(cit->second);
+      }
+    }
+  }
+  if (!overflow.empty()) {
+    // Rare fallback (tiny cells + enormous radius): concatenate and sort.
+    for (std::size_t i = 0; i < nruns; ++i) {
+      out.insert(out.end(), runs[i].it, runs[i].end);
+    }
+    for (const auto* cell : overflow) {
+      out.insert(out.end(), cell->begin(), cell->end());
+    }
+    std::sort(out.begin(), out.end(), [](const Radio* a, const Radio* b) {
+      return a->attach_order_ < b->attach_order_;
+    });
+    return;
+  }
+  if (nruns == 1) {
+    out.insert(out.end(), runs[0].it, runs[0].end);
+    return;
+  }
+  while (nruns > 0) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < nruns; ++i) {
+      if ((*runs[i].it)->attach_order_ < (*runs[best].it)->attach_order_) {
+        best = i;
+      }
+    }
+    out.push_back(*runs[best].it);
+    if (++runs[best].it == runs[best].end) runs[best] = runs[--nruns];
+  }
+}
+
+void Medium::build_neighbor_list(Radio& sender, double tx_power_dbm) {
+  std::vector<Radio*> candidates;
+  std::swap(candidates, scratch_);
+  candidates.clear();
+  collect_candidates(sender, tx_power_dbm, candidates);
+  sender.neighbors_.clear();
+  for (Radio* rx : candidates) {
+    if (rx == &sender || rx->volatile_) continue;
+    const double gain = link_gain_db(sender, *rx);
+    if (tx_power_dbm + gain < config_.detect_threshold_dbm) continue;
+    sender.neighbors_.push_back(NeighborEntry{rx, gain, rx->attach_order_});
+  }
+  std::swap(candidates, scratch_);
+  sender.nb_epoch_ = static_epoch_;
+  sender.nb_self_version_ = sender.geometry_version_;
+  sender.nb_power_dbm_ = tx_power_dbm;
+}
+
+void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
+                             const std::shared_ptr<const Bytes>& ppdu,
+                             const phy::TxVector& tx, TimePoint start,
+                             TimePoint end) {
+  // Finite-speed-of-light arrival: the PPDU occupies [start+d/c, end+d/c]
+  // at this receiver.
+  Duration prop = Duration::zero();
+  if (config_.model_propagation_delay) {
+    const double d = distance(sender.position(), rx_radio->position());
+    prop = nanoseconds(static_cast<std::int64_t>(d / kSpeedOfLight * 1e9));
+  }
+  const TimePoint rx_start = start + prop;
+  const TimePoint rx_end = end + prop;
+
+  const std::uint64_t rid = next_reception_id_++;
+  ++stats_.receptions;
+  auto& state = rx_radio->rx_state_;
+  state.list.push_back(Reception{rid, rx_start, rx_end, rx_dbm,
+                                 dbm_to_mw(rx_dbm), !rx_radio->sleeping()});
+  // Amortized prune: sweep the list when it doubles, not on every push.
+  if (state.list.size() >= state.prune_at) {
+    prune(state.list);
+    state.prune_at = std::max<std::size_t>(8, state.list.size() * 2);
+  }
+
+  // Energy: an awake radio is in RX while a detectable PPDU is on air.
+  if (!rx_radio->sleeping() &&
+      !rx_radio->transmitting_during(rx_start, rx_end)) {
+    rx_radio->rx_nesting_++;
+    rx_radio->energy().set_state(RadioState::kRx, rx_start);
+  }
+
+  // The capture list stays under SmallFn's inline budget (the PPDU is a
+  // shared_ptr, not a per-receiver byte copy), so a city-wide fan-out
+  // schedules thousands of receptions without a single heap allocation.
+  scheduler_.schedule_at(
+      rx_end, [this, rx_radio, rid, ppdu, tx, rx_start, rx_end, rx_dbm,
+               sender_ptr = &sender]() mutable {
+        finalize_reception(rx_radio, rid, std::move(ppdu), tx, rx_start,
+                           rx_end, rx_dbm, sender_ptr);
+      });
 }
 
 void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
@@ -64,6 +440,7 @@ void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
   const Duration airtime = phy::ppdu_airtime(tx.rate, ppdu.size());
   const TimePoint end = start + airtime;
 
+  ++stats_.transmissions;
   if (trace_) {
     trace_(TransmissionEvent{start, end, &sender, ppdu, tx});
   }
@@ -78,50 +455,67 @@ void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
         sender.sleeping() ? RadioState::kSleep : RadioState::kIdle, end);
   });
 
-  for (Radio* rx_radio : radios_) {
-    if (rx_radio == &sender) continue;
+  // One shared buffer for every receiver of this PPDU; receivers only
+  // copy it on the (rare) corruption path.
+  const auto shared_ppdu = std::make_shared<const Bytes>(std::move(ppdu));
+
+  // Shared by every fan-out flavor: one volatile (recently moved/retuned)
+  // radio, checked from scratch.
+  const auto try_receiver = [&](Radio* rx_radio) {
+    if (rx_radio == &sender) return;
+    ++stats_.candidates_scanned;
     // A dozing radio missed the preamble; it cannot receive this PPDU no
-    // matter what. Skipping it here is both correct and the fast path that
-    // lets the 5,000-device city stay cheap.
-    if (rx_radio->sleeping()) continue;
+    // matter what. Skipping it here is both correct and the fast path
+    // that lets the 5,000-device city stay cheap.
+    if (rx_radio->sleeping()) return;
     if (rx_radio->config().band != sender.config().band ||
         rx_radio->config().channel != sender.config().channel) {
-      continue;
+      return;
     }
     const double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
-    if (rx_dbm < config_.detect_threshold_dbm) continue;
+    if (rx_dbm < config_.detect_threshold_dbm) return;
+    begin_reception(sender, rx_radio, rx_dbm, shared_ppdu, tx, start, end);
+  };
 
-    // Finite-speed-of-light arrival: the PPDU occupies [start+d/c, end+d/c]
-    // at this receiver.
-    Duration prop = Duration::zero();
-    if (config_.model_propagation_delay) {
-      const double d = distance(sender.position(), rx_radio->position());
-      prop = nanoseconds(
-          static_cast<std::int64_t>(d / kSpeedOfLight * 1e9));
-    }
-    const TimePoint rx_start = start + prop;
-    const TimePoint rx_end = end + prop;
-
-    const std::uint64_t rid = next_reception_id_++;
-    auto& list = active_[rx_radio];
-    prune(list);
-    list.push_back(Reception{rid, rx_start, rx_end, rx_dbm,
-                             !rx_radio->sleeping()});
-
-    // Energy: an awake radio is in RX while a detectable PPDU is on air.
-    if (!rx_radio->sleeping() &&
-        !rx_radio->transmitting_during(rx_start, rx_end)) {
-      rx_radio->rx_nesting_++;
-      rx_radio->energy().set_state(RadioState::kRx, rx_start);
-    }
-
-    scheduler_.schedule_at(rx_end, [this, rx_radio, rid, ppdu, tx, rx_start,
-                                    rx_end, rx_dbm,
-                                    sender_ptr = &sender]() mutable {
-      finalize_reception(rx_radio, rid, std::move(ppdu), tx, rx_start, rx_end,
-                         rx_dbm, sender_ptr);
-    });
+  if (!config_.use_spatial_index) {
+    for (Radio* rx_radio : radios_) try_receiver(rx_radio);
+    return;
   }
+
+  if (sender.volatile_) {
+    // A mover has no stable neighbor list; scan the grid candidates.
+    // Borrow the scratch buffer (swap keeps this re-entrancy safe: a
+    // nested transmit from a trace sink would just allocate its own).
+    std::vector<Radio*> candidates;
+    std::swap(candidates, scratch_);
+    candidates.clear();
+    collect_candidates(sender, tx.power_dbm, candidates);
+    for (Radio* rx_radio : candidates) try_receiver(rx_radio);
+    std::swap(candidates, scratch_);
+    return;
+  }
+
+  // Static sender: replay the cached fan-out, interleaving the few
+  // volatile radios at their attach positions so reception ids and event
+  // order stay byte-identical to the brute-force scan.
+  if (sender.nb_epoch_ != static_epoch_ ||
+      sender.nb_self_version_ != sender.geometry_version_ ||
+      tx.power_dbm > sender.nb_power_dbm_) {
+    build_neighbor_list(sender, tx.power_dbm);
+  }
+  auto vit = volatile_radios_.begin();
+  const auto vend = volatile_radios_.end();
+  for (const NeighborEntry& e : sender.neighbors_) {
+    while (vit != vend && (*vit)->attach_order_ < e.order) {
+      try_receiver(*vit++);
+    }
+    ++stats_.candidates_scanned;
+    if (e.radio->sleeping()) continue;
+    const double rx_dbm = tx.power_dbm + e.gain_db;
+    if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
+    begin_reception(sender, e.radio, rx_dbm, shared_ppdu, tx, start, end);
+  }
+  while (vit != vend) try_receiver(*vit++);
 }
 
 void Medium::prune(std::vector<Reception>& list) const {
@@ -136,9 +530,7 @@ void Medium::prune(std::vector<Reception>& list) const {
 bool Medium::busy_for(const Radio& radio) const {
   const TimePoint now = scheduler_.now();
   if (radio.transmitting_during(now, now + nanoseconds(1))) return true;
-  const auto it = active_.find(&radio);
-  if (it == active_.end()) return false;
-  for (const auto& r : it->second) {
+  for (const auto& r : radio.rx_state_.list) {
     if (r.start <= now && now < r.end &&
         r.power_dbm >= config_.cs_threshold_dbm) {
       return true;
@@ -148,10 +540,11 @@ bool Medium::busy_for(const Radio& radio) const {
 }
 
 void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
-                                Bytes ppdu, const phy::TxVector& tx,
-                                TimePoint start, TimePoint end,
-                                double power_dbm, const Radio* sender) {
-  auto& list = active_[receiver];
+                                std::shared_ptr<const Bytes> ppdu,
+                                const phy::TxVector& tx, TimePoint start,
+                                TimePoint end, double power_dbm,
+                                const Radio* sender) {
+  auto& list = receiver->rx_state_.list;
 
   // Settle RX energy state first.
   const bool was_counted =
@@ -179,20 +572,21 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
   if (!awake_at_start || receiver->sleeping()) return;
   if (receiver->transmitting_during(start, end)) return;
 
-  // Interference: sum other receptions overlapping [start, end].
+  // Interference: sum other receptions overlapping [start, end]. The
+  // per-reception linear power is precomputed at push time, so the
+  // common no-overlap case runs without a single libm call.
   double interference_mw = 0.0;
   for (const auto& r : list) {
     if (r.id == reception_id) continue;
     if (r.start < end && r.end > start) {
-      interference_mw += dbm_to_mw(r.power_dbm);
+      interference_mw += r.power_mw;
     }
   }
 
-  const double noise_mw =
-      dbm_to_mw(thermal_noise_dbm(phy::kChannelBandwidthHz) +
-                config_.noise_figure_db);
   const double sinr_db =
-      power_dbm - mw_to_dbm(noise_mw + interference_mw);
+      interference_mw == 0.0
+          ? power_dbm - noise_floor_dbm_
+          : power_dbm - mw_to_dbm(noise_mw_ + interference_mw);
 
   bool corrupted = false;
   if (interference_mw > 0.0 &&
@@ -201,13 +595,18 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
   } else if (sinr_db < phy::kPreambleDetectSnrDb) {
     return;  // not even detectable as a frame
   } else if (config_.model_frame_errors) {
-    const double fer = phy::frame_error_rate(tx.rate, sinr_db, ppdu.size());
+    const double fer = cached_frame_error_rate(tx.rate, sinr_db, ppdu->size());
     if (rng_.bernoulli(fer)) corrupted = true;
   }
 
+  const Bytes* payload = ppdu.get();
+  Bytes damaged;
   if (corrupted) {
-    // Channel damage: flip bits so the FCS fails at the MAC.
-    frames::corrupt(ppdu, 3, splitmix(reception_id));
+    // Channel damage: flip bits so the FCS fails at the MAC. The shared
+    // buffer is copied only here — intact receivers never copy.
+    damaged = *ppdu;
+    frames::corrupt(damaged, 3, splitmix(reception_id));
+    payload = &damaged;
   }
 
   phy::RxVector rx;
@@ -232,7 +631,7 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
     }
   }
 
-  receiver->deliver(ppdu, rx);
+  receiver->deliver(*payload, rx);
 }
 
 }  // namespace politewifi::sim

@@ -7,9 +7,24 @@
 // observes every transmission (the simulator's Wireshark), and a CSI
 // provider lets scenario code shape per-link channel state (the sensing
 // experiments' hook).
+//
+// Scale notes (the 5,000-device city): transmissions fan out through a
+// per-(band,channel) uniform grid index instead of a flat scan over every
+// attached radio, visiting only radios that could possibly detect the
+// frame (the query radius is derived from the actual transmit power, the
+// path-loss model and a hard bound on the deterministic shadowing draw,
+// so the reception set is *exactly* the brute-force one — cell lists are
+// kept in attach order and merged, which keeps event ordering
+// byte-identical without sorting in the fan-out hot path). Per-link
+// budgets are memoized in a position-versioned direct-mapped cache, the
+// PPDU is shared across all receivers of a transmission instead of
+// copied per receiver, and the per-receiver reception lists are pruned
+// amortized (when they double) instead of on every push.
 #pragma once
 
 #include <functional>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +57,11 @@ struct MediumConfig {
   /// exactly the signal that time-of-flight ranging (the Wi-Peep line of
   /// follow-up work) extracts from Polite WiFi ACKs.
   bool model_propagation_delay = true;
+  /// Fan transmissions out through the per-(band,channel) spatial grid.
+  /// Off = the reference brute-force scan over every attached radio; kept
+  /// for the index/brute-force equivalence property test and as an escape
+  /// hatch. Both paths produce identical receptions in identical order.
+  bool use_spatial_index = true;
 };
 
 /// Record of one on-air PPDU (what a perfect sniffer would log).
@@ -59,6 +79,33 @@ using TraceSink = std::function<void(const TransmissionEvent&)>;
 /// Return nullopt to fall back to the medium's static default.
 using CsiProvider = std::function<std::optional<phy::CsiSnapshot>(
     const Radio& tx, const Radio& rx, TimePoint now)>;
+
+/// One in-flight (or recently finished) reception at some radio.
+struct Reception {
+  std::uint64_t id;
+  TimePoint start, end;
+  double power_dbm;
+  double power_mw;  // dbm_to_mw(power_dbm), precomputed for interference sums
+  bool receiver_awake_at_start;
+};
+
+/// Per-receiver in-flight reception list with an amortized prune
+/// threshold: the list is swept when it doubles, not on every push.
+/// Lives inside each Radio so the fan-out hot loop never touches a hash
+/// map to find it.
+struct ReceiverState {
+  std::vector<Reception> list;
+  std::size_t prune_at = 8;
+};
+
+/// One entry of a transmitter's cached fan-out: a receiver that clears
+/// the detection threshold at the power the list was built for, plus the
+/// memoized link gain. Lists are kept in attach order.
+struct NeighborEntry {
+  Radio* radio;
+  double gain_db;
+  std::uint64_t order;  // receiver's attach order (merge key)
+};
 
 class Medium {
  public:
@@ -84,32 +131,148 @@ class Medium {
   double link_shadowing_db(const Radio& a, const Radio& b) const;
 
   /// Link budget: received power at `rx` for a transmission from `tx`.
+  /// Memoized per directed link; invalidated when either radio moves or
+  /// retunes (position-versioned).
   double rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
                       const Radio& rx_radio) const;
 
- private:
-  struct Reception {
-    std::uint64_t id;
-    TimePoint start, end;
-    double power_dbm;
-    bool receiver_awake_at_start;
+  // --- Radio bookkeeping (called by Radio; not for scenario code) -----------
+
+  /// Per-medium radio identity, deterministic in attach order. Keeping the
+  /// counter here (not a process-wide static) makes concurrent independent
+  /// simulations — the sweep runner's bread and butter — bit-reproducible.
+  std::uint64_t allocate_radio_id() { return next_radio_id_++; }
+  void on_radio_moved(Radio& radio);
+  void on_radio_retuned(Radio& radio);
+
+  // --- Engine introspection (tests and the event-engine bench) -------------
+
+  struct Stats {
+    std::uint64_t transmissions = 0;       // PPDUs put on the air
+    std::uint64_t candidates_scanned = 0;  // radios visited during fan-out
+    std::uint64_t receptions = 0;          // receptions actually created
+    std::uint64_t link_cache_hits = 0;
+    std::uint64_t link_cache_misses = 0;
+    std::uint64_t fer_cache_hits = 0;
+    std::uint64_t fer_cache_misses = 0;
   };
+  const Stats& stats() const { return stats_; }
+
+  /// Grid cell edge length chosen from the detection budget (metres).
+  double cell_size_m() const { return cell_size_m_; }
+
+  /// Farthest distance at which a transmission at `tx_power_dbm` /
+  /// `frequency_hz` could still clear detect_threshold_dbm, including the
+  /// hard upper bound on the deterministic shadowing draw. 0 = inaudible
+  /// at any distance.
+  double max_detect_range_m(double tx_power_dbm, double frequency_hz) const;
+
+ private:
+  /// Memoized directed link budget, one line of the direct-mapped cache.
+  /// `gain_db` is (shadowing − path loss): rx_dbm = tx_dbm + gain_db.
+  /// Valid while `key` matches and both geometry versions match; a
+  /// colliding link simply overwrites the line (no chains, no rehash, no
+  /// wholesale clears — a miss costs one recompute, never a malloc).
+  struct LinkBudget {
+    std::uint64_t key;  // (tx_id << 32) | rx_id; 0 = empty (ids start at 1)
+    std::uint32_t tx_version;
+    std::uint32_t rx_version;
+    double gain_db;
+  };
+  using CellMap = std::unordered_map<std::uint64_t, std::vector<Radio*>>;
 
   void finalize_reception(Radio* receiver, std::uint64_t reception_id,
-                          Bytes ppdu, const phy::TxVector& tx,
-                          TimePoint start, TimePoint end, double power_dbm,
+                          std::shared_ptr<const Bytes> ppdu,
+                          const phy::TxVector& tx, TimePoint start,
+                          TimePoint end, double power_dbm,
                           const Radio* sender);
   void prune(std::vector<Reception>& list) const;
+  /// Starts a reception at `rx_radio`. `rx_dbm` is the received power the
+  /// caller already computed and checked against detect_threshold_dbm.
+  void begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
+                       const std::shared_ptr<const Bytes>& ppdu,
+                       const phy::TxVector& tx, TimePoint start,
+                       TimePoint end);
+
+  /// Flags a radio as geometry-volatile (it moved or retuned after
+  /// attaching): it is dropped from every cached neighbor list and
+  /// handled per-transmission instead, so a survey rig driving through
+  /// the city doesn't invalidate the static population's lists on every
+  /// step. The first flagging bumps the static-geometry epoch.
+  void mark_volatile(Radio& radio);
+  /// (Re)builds `sender`'s cached fan-out: every static radio on the
+  /// sender's channel that clears the detection threshold at
+  /// `tx_power_dbm`, in attach order, with memoized link gains.
+  void build_neighbor_list(Radio& sender, double tx_power_dbm);
+
+  double link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
+  /// Grows the direct-mapped link and FER caches with the attached
+  /// population (entries ~ 256 × radios, power of two, clamped). Growing
+  /// drops the old contents, which only happens during topology
+  /// construction.
+  void maybe_grow_link_cache();
+  /// phy::frame_error_rate memoized in a direct-mapped cache keyed by the
+  /// exact (rate, SINR bit pattern, size) triple. Static links see the
+  /// same SINR frame after frame, so the erfc/pow chain runs once per
+  /// distinct link instead of once per reception. Pure memoization: a hit
+  /// returns exactly the double a fresh computation would.
+  double cached_frame_error_rate(const phy::PhyRate& rate, double sinr_db,
+                                 std::size_t octets) const;
+
+  std::int32_t cell_coord(double v) const;
+  std::uint64_t cell_key_for(const Position& p) const;
+  void index_insert(Radio* radio);
+  void index_remove(Radio* radio);
+  /// Fills `out` with every indexed radio on the sender's (band,channel)
+  /// within detection range, sorted into attach order so the fan-out loop
+  /// behaves byte-identically to the brute-force scan.
+  void collect_candidates(const Radio& sender, double tx_power_dbm,
+                          std::vector<Radio*>& out) const;
 
   Scheduler& scheduler_;
   MediumConfig config_;
   mutable Rng rng_;
   std::uint64_t seed_;
+  double cell_size_m_ = 0.0;
   std::vector<Radio*> radios_;
-  std::unordered_map<const Radio*, std::vector<Reception>> active_;
+  std::unordered_map<std::uint64_t, CellMap> grid_;  // chan key -> cells
+  /// Bumped whenever the static topology changes (attach, detach, or a
+  /// radio's first move/retune). Cached neighbor lists are valid only
+  /// while this is unchanged.
+  std::uint64_t static_epoch_ = 1;
+  std::vector<Radio*> volatile_radios_;  // sorted by attach order
   std::uint64_t next_reception_id_ = 1;
+  std::uint64_t next_radio_id_ = 1;
+  std::uint64_t next_attach_order_ = 1;
   TraceSink trace_;
   CsiProvider csi_;
+  mutable Stats stats_;
+  mutable std::vector<LinkBudget> link_cache_;  // direct-mapped, pow-2 size
+  std::uint64_t link_cache_mask_ = 0;
+  /// One line of the FER memo. sinr_db is initialized to NaN, which no
+  /// real SINR bit pattern matches (compares are on the raw bits).
+  struct FerMemoEntry {
+    double sinr_db = std::numeric_limits<double>::quiet_NaN();
+    double mbps = 0.0;
+    double fer = 0.0;
+    std::uint32_t packed = 0;  // (octets << 1) | dsss bit
+    std::int32_t ndbps = 0;
+  };
+  mutable std::vector<FerMemoEntry> fer_cache_;  // direct-mapped, pow-2 size
+  std::uint64_t fer_cache_mask_ = 0;
+  /// Receiver noise floor — a constant of the medium config, hoisted out
+  /// of the per-reception SINR math.
+  double noise_mw_ = 0.0;
+  double noise_floor_dbm_ = 0.0;  // mw_to_dbm(noise_mw_)
+  /// Tiny (power, frequency) -> detection-range memo: a fleet transmits
+  /// at a handful of fixed EIRPs, so the per-transmission pow() folds
+  /// into a linear scan of 8 entries.
+  struct RangeMemo {
+    double power_dbm = 0.0, freq_hz = 0.0, range_m = 0.0;
+  };
+  mutable RangeMemo range_memo_[8];
+  mutable unsigned range_memo_next_ = 0;
+  mutable std::vector<Radio*> scratch_;  // fan-out candidate buffer (reused)
 
   // Per-pair cached static paths for the default CSI fallback.
   mutable std::unordered_map<std::uint64_t, phy::PathSet> static_paths_;

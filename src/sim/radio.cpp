@@ -2,20 +2,32 @@
 
 namespace politewifi::sim {
 
-std::uint64_t Radio::next_id_ = 1;
-
 Radio::Radio(Medium& medium, Scheduler& scheduler, RadioConfig config)
     : medium_(medium),
       scheduler_(scheduler),
       config_(config),
       position_(config.position),
       energy_(config.power, scheduler.now()),
-      id_(next_id_++) {
+      id_(medium.allocate_radio_id()) {
   energy_.set_state(RadioState::kIdle, scheduler_.now());
   medium_.attach(this);
 }
 
 Radio::~Radio() { medium_.detach(this); }
+
+void Radio::set_position(const Position& p) {
+  if (position_ == p) return;
+  position_ = p;
+  ++geometry_version_;
+  medium_.on_radio_moved(*this);
+}
+
+void Radio::set_channel(int channel) {
+  if (config_.channel == channel) return;
+  config_.channel = channel;
+  ++geometry_version_;  // frequency changed: link budgets are stale
+  medium_.on_radio_retuned(*this);
+}
 
 void Radio::transmit(const frames::Frame& frame, const phy::TxVector& tx) {
   // A sleeping radio cannot transmit; the roles wake it first. Guard

@@ -38,7 +38,7 @@ class Radio final : public mac::MacEnvironment {
   // --- mac::MacEnvironment ---------------------------------------------------
 
   TimePoint now() const override { return scheduler_.now(); }
-  std::uint64_t schedule(Duration delay, std::function<void()> fn) override {
+  std::uint64_t schedule(Duration delay, SmallFn fn) override {
     return scheduler_.schedule_in(delay, std::move(fn));
   }
   void cancel(std::uint64_t timer_id) override { scheduler_.cancel(timer_id); }
@@ -66,12 +66,15 @@ class Radio final : public mac::MacEnvironment {
 
   const RadioConfig& config() const { return config_; }
   const Position& position() const { return position_; }
-  void set_position(const Position& p) { position_ = p; }
+
+  /// Moves the radio. Updates the medium's spatial index and invalidates
+  /// the cached link budgets involving this radio.
+  void set_position(const Position& p);
 
   /// Retunes the radio (survey rigs hop channels). Takes effect for the
   /// next PPDU; an in-flight reception on the old channel is lost, which
   /// is exactly what real retuning does.
-  void set_channel(int channel) { config_.channel = channel; }
+  void set_channel(int channel);
 
   double frequency_hz() const {
     return phy::channel_frequency_hz(config_.band, config_.channel);
@@ -80,7 +83,10 @@ class Radio final : public mac::MacEnvironment {
   EnergyMeter& energy() { return energy_; }
   const EnergyMeter& energy() const { return energy_; }
 
-  /// Stable identity for deterministic per-link randomness.
+  /// Stable identity for deterministic per-link randomness. Allocated by
+  /// the owning medium in attach order, so independent simulations (e.g.
+  /// sweep-runner workers) draw identical per-link randomness no matter
+  /// how many run concurrently in one process.
   std::uint64_t id() const { return id_; }
 
  private:
@@ -97,7 +103,25 @@ class Radio final : public mac::MacEnvironment {
   std::uint64_t rx_nesting_ = 0;  // concurrent receptions (for energy state)
   std::uint64_t id_;
 
-  static std::uint64_t next_id_;
+  // --- Medium bookkeeping (written by Medium; see medium.cpp) ---------------
+  ReceiverState rx_state_;          // in-flight receptions at this radio
+  /// Cached tx fan-out: static detectable receivers in attach order.
+  /// Valid while nb_epoch_ matches the medium's static-geometry epoch,
+  /// nb_self_version_ matches geometry_version_, and the transmit power
+  /// does not exceed nb_power_dbm_.
+  std::vector<NeighborEntry> neighbors_;
+  std::uint64_t nb_epoch_ = 0;  // 0 = never built
+  std::uint32_t nb_self_version_ = 0;
+  double nb_power_dbm_ = 0.0;
+  /// Set on the first move/retune after attach; volatile radios are
+  /// excluded from neighbor lists and checked per transmission.
+  bool volatile_ = false;
+  std::uint64_t attach_order_ = 0;  // brute-force iteration order
+  std::uint64_t grid_chan_ = 0;     // (band,channel) key while indexed
+  std::uint64_t grid_cell_ = 0;     // grid cell key while indexed
+  bool grid_indexed_ = false;
+  /// Bumped on every move/retune; tags cached link budgets.
+  std::uint32_t geometry_version_ = 0;
 };
 
 }  // namespace politewifi::sim

@@ -1,0 +1,58 @@
+#include "sim/sweep_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace politewifi::sim {
+
+unsigned SweepRunner::default_threads() {
+  if (const char* s = std::getenv("PW_THREADS")) {
+    const long v = std::atol(s);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads >= 1 ? threads : 1) {}
+
+void SweepRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& job) const {
+  if (n == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t pool =
+      std::min<std::size_t>(threads_, n);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace politewifi::sim

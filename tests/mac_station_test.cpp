@@ -38,9 +38,9 @@ class MockEnv : public MacEnvironment {
 
   TimePoint now() const override { return now_; }
 
-  std::uint64_t schedule(Duration delay, std::function<void()> fn) override {
+  std::uint64_t schedule(Duration delay, SmallFn fn) override {
     const std::uint64_t id = next_id_++;
-    timers_.push_back({id, now_ + delay, std::move(fn), false});
+    timers_.push_back(Timer{id, now_ + delay, std::move(fn), false});
     return id;
   }
 
@@ -85,7 +85,7 @@ class MockEnv : public MacEnvironment {
   struct Timer {
     std::uint64_t id;
     TimePoint at;
-    std::function<void()> fn;
+    SmallFn fn;
     bool cancelled;
   };
   TimePoint now_ = kSimStart;

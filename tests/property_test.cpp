@@ -163,7 +163,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CcmpSizeSweep,
 class MockEnv : public mac::MacEnvironment {
  public:
   TimePoint now() const override { return now_; }
-  std::uint64_t schedule(Duration delay, std::function<void()> fn) override {
+  std::uint64_t schedule(Duration delay, SmallFn fn) override {
     fns_.emplace_back(now_ + delay, std::move(fn));
     return fns_.size();
   }
@@ -186,7 +186,7 @@ class MockEnv : public mac::MacEnvironment {
 
  private:
   TimePoint now_ = kSimStart;
-  std::vector<std::pair<TimePoint, std::function<void()>>> fns_;
+  std::vector<std::pair<TimePoint, SmallFn>> fns_;
 };
 
 class AckRateSweep : public ::testing::TestWithParam<phy::PhyRate> {};

@@ -25,9 +25,9 @@ class MockEnv : public MacEnvironment {
   };
 
   TimePoint now() const override { return now_; }
-  std::uint64_t schedule(Duration delay, std::function<void()> fn) override {
+  std::uint64_t schedule(Duration delay, SmallFn fn) override {
     const std::uint64_t id = next_id_++;
-    timers_.push_back({id, now_ + delay, std::move(fn), false});
+    timers_.push_back(Timer{id, now_ + delay, std::move(fn), false});
     return id;
   }
   void cancel(std::uint64_t id) override {
@@ -66,7 +66,7 @@ class MockEnv : public MacEnvironment {
   struct Timer {
     std::uint64_t id;
     TimePoint at;
-    std::function<void()> fn;
+    SmallFn fn;
     bool cancelled;
   };
   TimePoint now_ = kSimStart;
