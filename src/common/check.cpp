@@ -1,0 +1,50 @@
+#include "common/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace politewifi::contract {
+
+namespace {
+
+FailureHandler g_handler = nullptr;
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  FailureHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+void fail(const char* file, int line, const char* macro,
+          const char* expression, const char* fmt, ...) {
+  // Strip the build-tree prefix so messages are stable across checkouts.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  char detail[512];
+  detail[0] = '\0';
+  if (fmt != nullptr) {
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail, sizeof detail, fmt, args);
+    va_end(args);
+  }
+  char message[768];
+  std::snprintf(message, sizeof message, "%s:%d: %s(%s) failed%s%s", basename,
+                line, macro, expression, detail[0] != '\0' ? ": " : "",
+                detail);
+  if (g_handler != nullptr) {
+    g_handler(message);  // may throw (test handlers) or not return
+  }
+  // Default (or a handler that returned): report on stderr — where death
+  // tests and CI logs look — and abort so the failure is never swallowed.
+  std::fprintf(stderr, "%s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace politewifi::contract

@@ -1,10 +1,35 @@
 #include "frames/serializer.h"
 
+#include "common/check.h"
 #include "common/crc32.h"
 
 namespace politewifi::frames {
 
 namespace {
+
+#if PW_AUDIT_ENABLED
+/// Round-trip audit, re-entrancy guarded (the audit itself serializes).
+/// Every serialized MPDU must parse back FCS-clean and re-encode to the
+/// same octets: the codec pair is a bijection on well-formed frames, and
+/// any drift here silently rewrites what goes on the air.
+thread_local bool in_serialize_audit = false;
+
+void audit_round_trip(const Frame& frame, const Bytes& raw) {
+  if (in_serialize_audit) return;
+  in_serialize_audit = true;
+  PW_CHECK_EQ(raw.size(), frame.size_bytes());
+  const DeserializeResult parsed = deserialize(raw);
+  PW_CHECK(parsed.fcs_ok, "freshly serialized frame fails its own FCS");
+  PW_CHECK(parsed.frame.has_value(),
+           "freshly serialized frame is structurally unparseable");
+  const Bytes again = serialize(*parsed.frame);
+  PW_CHECK(again == raw,
+           "serialize(deserialize(x)) != x: codec round-trip drift "
+           "(%zu vs %zu octets)",
+           again.size(), raw.size());
+  in_serialize_audit = false;
+}
+#endif
 
 void write_mac(ByteWriter& w, const MacAddress& m) { w.bytes(m.octets()); }
 
@@ -29,7 +54,11 @@ Bytes serialize(const Frame& frame) {
   if (frame.has_qos_control()) w.u16le(frame.qos_control);
   w.bytes(frame.body);
   w.u32le(crc32(w.view()));
-  return w.take();
+  Bytes raw = w.take();
+#if PW_AUDIT_ENABLED
+  audit_round_trip(frame, raw);
+#endif
+  return raw;
 }
 
 DeserializeResult deserialize(std::span<const std::uint8_t> raw) {

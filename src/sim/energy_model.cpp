@@ -1,6 +1,25 @@
 #include "sim/energy_model.h"
 
+#include "common/check.h"
+
 namespace politewifi::sim {
+
+bool radio_transition_legal(RadioState from, RadioState to) {
+  if (from == to) return true;                 // nesting / meter resets
+  if (to == RadioState::kOff) return true;     // power-down from anywhere
+  switch (from) {
+    case RadioState::kOff:
+    case RadioState::kSleep:
+      // Off/dozing radios missed the preamble and must not transmit:
+      // the only legal exit is waking to Idle.
+      return to == RadioState::kIdle;
+    case RadioState::kIdle:
+    case RadioState::kRx:  // rx abandoned for a tx, or settled to idle
+    case RadioState::kTx:  // tx tail overlapped by an arriving preamble
+      return true;
+  }
+  return false;
+}
 
 const char* radio_state_name(RadioState s) {
   switch (s) {
@@ -38,6 +57,9 @@ double EnergyMeter::state_power_mw(RadioState s) const {
 }
 
 void EnergyMeter::set_state(RadioState next, TimePoint now) {
+  PW_DCHECK(radio_transition_legal(state_, next),
+            "illegal radio state transition %s -> %s",
+            radio_state_name(state_), radio_state_name(next));
   const Duration dwelt = now - state_start_;
   if (dwelt > Duration::zero()) {
     accrued_mj_ += state_power_mw(state_) * to_seconds(dwelt);

@@ -21,6 +21,17 @@ constexpr int kNumRadioStates = 5;
 
 const char* radio_state_name(RadioState s);
 
+/// Transition-legality table for the radio power state machine. Encodes
+/// what the MAC/medium mechanics can legitimately do to a radio:
+///  - self-transitions are always legal (nested receptions, meter resets);
+///  - a sleeping radio can only wake to Idle — Medium::begin_reception
+///    gates on !sleeping() and Radio::transmit drops frames while dozing,
+///    so Sleep->Rx / Sleep->Tx mark a gating bug upstream;
+///  - an Off radio can only power up to Idle; any state may power down.
+/// EnergyMeter::set_state PW_DCHECKs this, so audit builds halt on the
+/// first illegal hop instead of mis-metering Figure 6.
+bool radio_transition_legal(RadioState from, RadioState to);
+
 /// Per-state power draw of a radio, plus per-event overheads.
 struct PowerProfile {
   double off_mw = 0.0;

@@ -1,13 +1,67 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/check.h"
 
 namespace politewifi::sim {
+
+void Scheduler::audit() const {
+  // Heap order: every parent at or before (time, seq) of its children.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const HeapEntry& parent = heap_[(i - 1) / 2];
+    const HeapEntry& child = heap_[i];
+    PW_CHECK(!Later{}(parent, child),
+             "heap order violated at index %zu: parent fires after child", i);
+  }
+  // Slot accounting: each heap entry points at a distinct armed slot;
+  // tombstones_ counts exactly the cancelled ones; a cancelled slot must
+  // already have dropped its callback (cancel() frees captures eagerly).
+  std::vector<std::uint8_t> referenced(pool_.size(), 0);
+  std::size_t cancelled_in_heap = 0;
+  for (const HeapEntry& e : heap_) {
+    PW_CHECK(e.slot < pool_.size(), "heap entry references slot %u beyond pool",
+             e.slot);
+    PW_CHECK(!referenced[e.slot],
+             "slot %u referenced by two heap entries (double-schedule)",
+             e.slot);
+    referenced[e.slot] = 1;
+    const Slot& slot = pool_[e.slot];
+    PW_CHECK(slot.armed, "heap entry references disarmed slot %u", e.slot);
+    if (slot.cancelled) {
+      ++cancelled_in_heap;
+      PW_CHECK(!slot.fn, "tombstoned slot %u still holds its callback",
+               e.slot);
+    }
+  }
+  PW_CHECK_EQ(tombstones_, cancelled_in_heap);
+  // Free-list / heap partition: every pool slot is either armed and in
+  // the heap, or disarmed and on the free list — never both, never
+  // neither (a slot that escapes both would leak its generation).
+  std::vector<std::uint8_t> free(pool_.size(), 0);
+  for (const std::uint32_t index : free_slots_) {
+    PW_CHECK(index < pool_.size(), "free list entry %u beyond pool", index);
+    PW_CHECK(!free[index], "slot %u on the free list twice", index);
+    free[index] = 1;
+    PW_CHECK(!pool_[index].armed, "armed slot %u on the free list", index);
+  }
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    PW_CHECK(pool_[i].armed == (referenced[i] != 0),
+             "slot %zu %s but %s the heap", i,
+             pool_[i].armed ? "armed" : "disarmed",
+             referenced[i] ? "in" : "not in");
+    PW_CHECK(referenced[i] != free[i], "slot %zu leaked: %s", i,
+             referenced[i] ? "both in heap and free" : "neither in heap nor free");
+  }
+}
 
 std::uint32_t Scheduler::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t index = free_slots_.back();
     free_slots_.pop_back();
+    PW_DCHECK(!pool_[index].armed && !pool_[index].fn,
+              "recycled slot %u still armed or holding a callback", index);
     return index;
   }
   pool_.emplace_back();
@@ -83,6 +137,11 @@ bool Scheduler::pop_one(bool bounded, TimePoint limit) {
     release_slot(top.slot);
     now_ = top.at;
     ++executed_;
+#if PW_AUDIT_ENABLED
+    // Audit builds re-verify the full invariant set periodically, so a
+    // corruption is caught within kAuditPeriod events of its cause.
+    if (executed_ % kAuditPeriod == 0) audit();
+#endif
     fn();
     return true;
   }

@@ -74,7 +74,20 @@ class Scheduler {
   /// Cancelled events awaiting reclamation at pop time.
   std::size_t tombstones() const { return tombstones_; }
 
+  /// Invariant auditor: verifies the min-heap order on (time, seq), that
+  /// every heap entry references a distinct armed slot, that the
+  /// tombstone counter matches the cancelled entries actually in the
+  /// heap, that cancelled slots have already dropped their callbacks,
+  /// and that the free list and the heap partition the pool exactly.
+  /// PW_CHECK-fails (fatal) on the first violation; compiled into every
+  /// build so tests can probe it, and invoked automatically every
+  /// `kAuditPeriod` executed events when PW_AUDIT_ENABLED. O(pool).
+  void audit() const;
+
  private:
+  friend struct SchedulerTestPeer;  // corruption-injection tests
+
+  static constexpr std::uint64_t kAuditPeriod = 1024;
   struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;   // FIFO tiebreak among simultaneous events

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/check.h"
 #include "frames/serializer.h"
 #include "phy/rates.h"
 #include "sim/radio.h"
@@ -238,6 +239,17 @@ double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
   return fer;
 }
 
+double Medium::raw_link_gain_db(const Radio& tx_radio,
+                                const Radio& rx_radio) const {
+  const phy::LogDistancePathLoss model(
+      {.exponent = config_.path_loss_exponent,
+       .reference_m = 1.0,
+       .shadowing_sigma_db = 0.0},
+      tx_radio.frequency_hz());
+  const double d = distance(tx_radio.position(), rx_radio.position());
+  return -model.loss_db(d) + link_shadowing_db(tx_radio, rx_radio);
+}
+
 double Medium::link_gain_db(const Radio& tx_radio,
                             const Radio& rx_radio) const {
   // Directed key: the budget depends on the transmitter's frequency, so
@@ -258,14 +270,7 @@ double Medium::link_gain_db(const Radio& tx_radio,
     }
   }
   ++stats_.link_cache_misses;
-  const phy::LogDistancePathLoss model(
-      {.exponent = config_.path_loss_exponent,
-       .reference_m = 1.0,
-       .shadowing_sigma_db = 0.0},
-      tx_radio.frequency_hz());
-  const double d = distance(tx_radio.position(), rx_radio.position());
-  const double gain =
-      -model.loss_db(d) + link_shadowing_db(tx_radio, rx_radio);
+  const double gain = raw_link_gain_db(tx_radio, rx_radio);
   if (line != nullptr) {
     *line = LinkBudget{key, tx_radio.geometry_version_,
                        rx_radio.geometry_version_, gain};
@@ -441,6 +446,11 @@ void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
   const TimePoint end = start + airtime;
 
   ++stats_.transmissions;
+#if PW_AUDIT_ENABLED
+  // Audit builds spot-check one sender's cached fan-out per period, so a
+  // coherence bug is caught near its cause without O(n^2) per frame.
+  if (stats_.transmissions % kAuditPeriod == 0) audit_radio(sender);
+#endif
   if (trace_) {
     trace_(TransmissionEvent{start, end, &sender, ppdu, tx});
   }
@@ -632,6 +642,156 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
   }
 
   receiver->deliver(*payload, rx);
+}
+
+void Medium::audit_radio(const Radio& radio) const {
+  // Grid residency: the recorded (channel, cell) keys must match what the
+  // radio's current tuning and position imply, and the radio must sit in
+  // exactly that cell. A position mutated without Medium::on_radio_moved
+  // (the classic stale-cache bug) trips here.
+  if (radio.grid_indexed_) {
+    PW_CHECK(radio.grid_chan_ == chan_key_of(radio),
+             "radio %llu indexed under stale channel key",
+             static_cast<unsigned long long>(radio.id()));
+    PW_CHECK(radio.grid_cell_ == cell_key_for(radio.position()),
+             "radio %llu indexed under stale grid cell (moved without "
+             "on_radio_moved?)",
+             static_cast<unsigned long long>(radio.id()));
+    const auto git = grid_.find(radio.grid_chan_);
+    PW_CHECK(git != grid_.end(), "radio %llu's channel missing from grid",
+             static_cast<unsigned long long>(radio.id()));
+    const auto cit = git->second.find(radio.grid_cell_);
+    PW_CHECK(cit != git->second.end(),
+             "radio %llu's cell missing from grid",
+             static_cast<unsigned long long>(radio.id()));
+    PW_CHECK(std::count(cit->second.begin(), cit->second.end(), &radio) == 1,
+             "radio %llu not exactly once in its grid cell",
+             static_cast<unsigned long long>(radio.id()));
+  }
+
+  // Neighbor-list coherence: a valid cached fan-out must equal the
+  // brute-force reception set — same receivers, same order, bit-identical
+  // link gains — because transmit() replays it instead of scanning.
+  const bool list_valid = !radio.volatile_ &&
+                          radio.nb_epoch_ == static_epoch_ &&
+                          radio.nb_self_version_ == radio.geometry_version_;
+  if (!list_valid) return;
+  std::size_t i = 0;
+  for (const Radio* rx : radios_) {
+    if (rx == &radio || rx->volatile_) continue;
+    if (chan_key_of(*rx) != chan_key_of(radio)) continue;
+    const double gain = raw_link_gain_db(radio, *rx);
+    if (radio.nb_power_dbm_ + gain < config_.detect_threshold_dbm) continue;
+    PW_CHECK(i < radio.neighbors_.size(),
+             "neighbor list of radio %llu misses detectable radio %llu",
+             static_cast<unsigned long long>(radio.id()),
+             static_cast<unsigned long long>(rx->id()));
+    const NeighborEntry& e = radio.neighbors_[i++];
+    PW_CHECK(e.radio == rx && e.order == rx->attach_order_,
+             "neighbor list of radio %llu diverges from brute force at "
+             "entry %zu",
+             static_cast<unsigned long long>(radio.id()), i - 1);
+    PW_CHECK(std::bit_cast<std::uint64_t>(e.gain_db) ==
+                 std::bit_cast<std::uint64_t>(gain),
+             "cached gain %.17g != recomputed %.17g for link %llu->%llu",
+             e.gain_db, gain, static_cast<unsigned long long>(radio.id()),
+             static_cast<unsigned long long>(rx->id()));
+  }
+  PW_CHECK_EQ(i, radio.neighbors_.size());
+}
+
+void Medium::audit_coherence() const {
+  // Per-radio slices: grid residency + cached fan-outs.
+  for (const Radio* r : radios_) audit_radio(*r);
+
+  // Grid totals: cells hold only attached, indexed radios, in strictly
+  // increasing attach order (the merge in collect_candidates depends on
+  // it), and every indexed radio is accounted for exactly once.
+  std::size_t in_grid = 0;
+  for (const auto& [chan, cells] : grid_) {
+    for (const auto& [cell_key, cell] : cells) {
+      PW_CHECK(!cell.empty(), "grid retains an empty cell");
+      for (std::size_t k = 0; k < cell.size(); ++k) {
+        const Radio* r = cell[k];
+        PW_CHECK(std::count(radios_.begin(), radios_.end(), r) == 1,
+                 "grid cell holds a detached radio");
+        PW_CHECK(r->grid_indexed_ && r->grid_chan_ == chan &&
+                     r->grid_cell_ == cell_key,
+                 "radio %llu's grid bookkeeping disagrees with the cell "
+                 "holding it",
+                 static_cast<unsigned long long>(r->id()));
+        PW_CHECK(k == 0 ||
+                     cell[k - 1]->attach_order_ < r->attach_order_,
+                 "grid cell not in attach order at position %zu", k);
+      }
+      in_grid += cell.size();
+    }
+  }
+  std::size_t indexed = 0;
+  for (const Radio* r : radios_) indexed += r->grid_indexed_ ? 1 : 0;
+  PW_CHECK_EQ(in_grid, indexed);
+
+  // Volatile list: exactly the flagged radios, in attach order.
+  std::size_t flagged = 0;
+  for (const Radio* r : radios_) flagged += r->volatile_ ? 1 : 0;
+  PW_CHECK_EQ(flagged, volatile_radios_.size());
+  for (std::size_t k = 0; k < volatile_radios_.size(); ++k) {
+    PW_CHECK(volatile_radios_[k]->volatile_,
+             "non-volatile radio on the volatile list");
+    PW_CHECK(k == 0 || volatile_radios_[k - 1]->attach_order_ <
+                           volatile_radios_[k]->attach_order_,
+             "volatile list not in attach order at position %zu", k);
+  }
+
+  // Link-cache lines that would be served as hits (key decodes to two
+  // attached radios whose geometry versions match) must hold exactly the
+  // gain a fresh computation produces.
+  std::unordered_map<std::uint64_t, const Radio*> by_id;
+  for (const Radio* r : radios_) by_id.emplace(r->id(), r);
+  for (const LinkBudget& line : link_cache_) {
+    if (line.key == 0) continue;
+    const auto tx = by_id.find(line.key >> 32);
+    const auto rx = by_id.find(line.key & 0xffffffffULL);
+    if (tx == by_id.end() || rx == by_id.end()) continue;  // detached
+    if (line.tx_version != tx->second->geometry_version_ ||
+        line.rx_version != rx->second->geometry_version_) {
+      continue;  // stale line: the next lookup misses and recomputes
+    }
+    const double gain = raw_link_gain_db(*tx->second, *rx->second);
+    PW_CHECK(std::bit_cast<std::uint64_t>(line.gain_db) ==
+                 std::bit_cast<std::uint64_t>(gain),
+             "link cache line %.17g != recomputed %.17g for %llu->%llu "
+             "(position changed without a version bump?)",
+             line.gain_db, gain,
+             static_cast<unsigned long long>(tx->second->id()),
+             static_cast<unsigned long long>(rx->second->id()));
+  }
+
+  // Indexed-vs-brute-force spot check: for every attached radio the grid
+  // query must return an attach-ordered, same-channel candidate list
+  // containing every radio a brute-force range scan would keep.
+  std::vector<Radio*> candidates;
+  for (const Radio* sender : radios_) {
+    const double probe_dbm = 20.0;
+    candidates.clear();
+    collect_candidates(*sender, probe_dbm, candidates);
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      PW_CHECK(chan_key_of(*candidates[k]) == chan_key_of(*sender),
+               "grid query crossed channels");
+      PW_CHECK(k == 0 || candidates[k - 1]->attach_order_ <
+                             candidates[k]->attach_order_,
+               "grid query result not in attach order at position %zu", k);
+    }
+    const double r = max_detect_range_m(probe_dbm, sender->frequency_hz());
+    for (Radio* rx : radios_) {
+      if (chan_key_of(*rx) != chan_key_of(*sender)) continue;
+      if (distance(sender->position(), rx->position()) > r) continue;
+      PW_CHECK(std::count(candidates.begin(), candidates.end(), rx) == 1,
+               "grid query missed in-range radio %llu for sender %llu",
+               static_cast<unsigned long long>(rx->id()),
+               static_cast<unsigned long long>(sender->id()));
+    }
+  }
 }
 
 }  // namespace politewifi::sim

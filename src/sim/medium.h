@@ -167,7 +167,20 @@ class Medium {
   /// at any distance.
   double max_detect_range_m(double tx_power_dbm, double frequency_hz) const;
 
+  /// Coherence auditor: re-derives by brute force everything the spatial
+  /// index, cached neighbor lists, and memoized link budgets claim, and
+  /// PW_CHECK-fails (fatal) on the first divergence — a stale grid cell,
+  /// a neighbor list that differs from the brute-force reception set, or
+  /// a link-cache line whose gain no longer matches a fresh recompute.
+  /// Compiled into every build (tests corrupt state and assert it trips);
+  /// audit builds additionally run the per-sender slice automatically
+  /// every `kAuditPeriod` transmissions. O(radios^2) — test-scale only.
+  void audit_coherence() const;
+
  private:
+  friend struct MediumTestPeer;  // corruption-injection tests
+
+  static constexpr std::uint64_t kAuditPeriod = 256;
   /// Memoized directed link budget, one line of the direct-mapped cache.
   /// `gain_db` is (shadowing − path loss): rx_dbm = tx_dbm + gain_db.
   /// Valid while `key` matches and both geometry versions match; a
@@ -206,6 +219,14 @@ class Medium {
   void build_neighbor_list(Radio& sender, double tx_power_dbm);
 
   double link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
+  /// The pure link-budget computation (path loss + deterministic
+  /// shadowing), bypassing the memo. link_gain_db's miss path and the
+  /// coherence auditor both call this, so "cache hit == fresh recompute"
+  /// is checkable bit-for-bit.
+  double raw_link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
+  /// One sender's slice of audit_coherence: its grid residency and (when
+  /// valid) its cached neighbor list vs the brute-force reception set.
+  void audit_radio(const Radio& radio) const;
   /// Grows the direct-mapped link and FER caches with the attached
   /// population (entries ~ 256 × radios, power of two, clamped). Growing
   /// drops the old contents, which only happens during topology

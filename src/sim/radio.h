@@ -91,6 +91,7 @@ class Radio final : public mac::MacEnvironment {
 
  private:
   friend class Medium;
+  friend struct MediumTestPeer;  // corruption-injection tests
 
   Medium& medium_;
   Scheduler& scheduler_;

@@ -107,13 +107,19 @@ TEST(EnergyMeter, ResetStartsFreshWindow) {
 }
 
 TEST(EnergyMeter, DwellBookkeeping) {
+  // Doze → wake → receive → doze → wake. The zero-length kIdle hops are
+  // the legal wake-ups between sleep and active states
+  // (radio_transition_legal); they add no dwell.
   EnergyMeter meter(PowerProfile::esp8266(), kSimStart);
   meter.set_state(RadioState::kSleep, kSimStart);
+  meter.set_state(RadioState::kIdle, kSimStart + seconds(3));
   meter.set_state(RadioState::kRx, kSimStart + seconds(3));
+  meter.set_state(RadioState::kIdle, kSimStart + seconds(4));
   meter.set_state(RadioState::kSleep, kSimStart + seconds(4));
   meter.set_state(RadioState::kIdle, kSimStart + seconds(10));
   EXPECT_EQ(meter.dwell(RadioState::kSleep), seconds(9));
   EXPECT_EQ(meter.dwell(RadioState::kRx), seconds(1));
+  EXPECT_EQ(meter.dwell(RadioState::kIdle), seconds(0));
 }
 
 TEST(Battery, HoursAtDraw) {

@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""pw_lint: repo-specific determinism and hygiene checks for src/.
+
+The simulator's results are exact-equivalence claims (byte-identical
+survey output, bit-reproducible sweeps), so the classic ways C++ code
+goes quietly nondeterministic are outright banned here and enforced by
+CI rather than by review vigilance:
+
+  wall-clock            time()/clock()/gettimeofday()/system_clock reads
+                        anywhere outside common/clock.h — simulated time
+                        comes from the Scheduler, never the host.
+  raw-random            rand()/srand()/random_device/drand48 and any
+                        #include <random> outside common/rng — all
+                        randomness flows from seeded politewifi::Rng.
+  unordered-iteration   range-for over an unordered_map/unordered_set
+                        (including one reached through an iterator's
+                        ->second): iteration order is
+                        implementation-defined, so anything it feeds —
+                        survey tables, pcap traces, event scheduling —
+                        can differ between runs and toolchains.
+  raw-new               new/delete in the sim hot paths (src/sim,
+                        src/mac, src/phy): per-event allocations are the
+                        engine's historical perf bugs; use pools,
+                        SmallFn capture, or values.
+  missing-override      a `virtual` re-declaration in a derived class
+                        without `override`: silently forks the vtable
+                        when a base signature changes.
+  banned-include        <ctime> (wall clock), <iostream> (iostream's
+                        static init order + interleaved buffering;
+                        library code logs via common/logging.h).
+
+Violations can be acknowledged in tools/pw_lint_allowlist.txt as
+`path:rule  # justification` (the justification is mandatory), or
+inline with `// pw-lint: allow(rule)` on the offending line. Unused
+allowlist entries are themselves errors, so the file can only shrink.
+
+Usage:
+  python3 tools/pw_lint.py             # lint src/ (the CI gate)
+  python3 tools/pw_lint.py FILES...    # lint specific files (pre-push)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWLIST_PATH = REPO / "tools" / "pw_lint_allowlist.txt"
+
+# Directories whose event-rate makes per-event heap traffic a perf bug.
+HOT_PATH_DIRS = ("src/sim", "src/mac", "src/phy")
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:time|clock|gettimeofday|clock_gettime|getrandom)\s*\("
+    r"|std::chrono::(?:system_clock|high_resolution_clock)"
+)
+RAW_RANDOM_RE = re.compile(
+    r"\b(?:rand|srand|rand_r|drand48|lrand48|random)\s*\("
+    r"|std::random_device|\brandom_device\b"
+)
+RANDOM_INCLUDE_RE = re.compile(r'#\s*include\s*<random>')
+BANNED_INCLUDE_RE = re.compile(r'#\s*include\s*<(ctime|iostream)>')
+NEW_DELETE_RE = re.compile(r"(?<!::)\bnew\b(?!\s*\()|\bdelete\b")
+VIRTUAL_RE = re.compile(r"^\s*virtual\b")
+CLASS_WITH_BASE_RE = re.compile(
+    r"\b(?:class|struct)\s+(\w+)[^;{]*:\s*(?:public|protected|private)\s"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;:()]*:\s*([^)]+)\)")
+UNORDERED_ALIAS_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\b"
+)
+INLINE_ALLOW_RE = re.compile(r"//\s*pw-lint:\s*allow\((\s*[\w-]+\s*)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def unordered_value_names(code: str) -> tuple[set[str], set[str]]:
+    """Names whose iteration is unordered.
+
+    Returns (direct, via_find): `direct` holds variables/aliases declared
+    as unordered containers; `via_find` holds iterator variables obtained
+    by .find() on a container whose *mapped type* is itself unordered
+    (so `it->second` iterates unordered)."""
+    aliases = set(UNORDERED_ALIAS_RE.findall(code))
+    unordered_type = (
+        r"(?:std::)?unordered_(?:map|set)\s*<[^;{}]*?>"
+        + (r"|\b(?:%s)\b" % "|".join(map(re.escape, aliases)) if aliases else "")
+    )
+    direct: set[str] = set()
+    for m in re.finditer(
+        r"(?:%s)\s*(?:const\s*)?&?\s+(\w+)\s*[;,)=({]" % unordered_type, code
+    ):
+        direct.add(m.group(1))
+    # Containers whose mapped type is unordered: unordered_map<K, Alias>
+    # or unordered_map<K, unordered_*<...>>.
+    nested: set[str] = set()
+    for m in re.finditer(
+        r"(?:std::)?unordered_map\s*<[^;{}]*?,\s*([\w:]+)[^;{}]*?>\s*&?\s*(\w+)\s*[;,)=({]",
+        code,
+    ):
+        mapped, name = m.group(1), m.group(2)
+        if mapped.split("::")[-1] in aliases or "unordered_" in mapped:
+            nested.add(name)
+    via_find: set[str] = set()
+    for m in re.finditer(
+        r"(?:const\s+)?auto\s+(\w+)\s*=\s*(\w+)\.find\s*\(", code
+    ):
+        if m.group(2) in nested:
+            via_find.add(m.group(1))
+    # Structured bindings over a nested container: in
+    # `for (auto& [k, v] : nested_)`, v is itself unordered.
+    for m in re.finditer(
+        r"for\s*\(\s*(?:const\s+)?auto&?&?\s*\[\s*\w+\s*,\s*(\w+)\s*\]"
+        r"\s*:\s*(\w+)\s*\)", code
+    ):
+        if m.group(2) in nested:
+            direct.add(m.group(1))
+    return direct, via_find
+
+
+class Linter:
+    def __init__(self, allowlist: dict[tuple[str, str], str]):
+        self.allowlist = allowlist
+        self.used_allows: set[tuple[str, str]] = set()
+        self.violations: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str,
+               raw_line: str) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        inline = INLINE_ALLOW_RE.search(raw_line)
+        if inline and inline.group(1).strip() == rule:
+            return
+        if (rel, rule) in self.allowlist:
+            self.used_allows.add((rel, rule))
+            return
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        raw_text = path.read_text()
+        raw_lines = raw_text.splitlines()
+        code_lines = strip_comments_and_strings(raw_text).splitlines()
+        code = "\n".join(code_lines)
+        # A .cpp sees its class's members, which live in the sibling
+        # header — fold the header's declarations into name resolution
+        # (the header's own lines are linted when it is visited).
+        decl_code = code
+        sibling = path.with_suffix(".h")
+        if path.suffix == ".cpp" and sibling.exists():
+            decl_code += "\n" + strip_comments_and_strings(
+                sibling.read_text())
+        direct, via_find = unordered_value_names(decl_code)
+        in_rng = rel.startswith("src/common/rng")
+        in_clock = rel == "src/common/clock.h"
+        hot = rel.startswith(HOT_PATH_DIRS)
+
+        # Track "inside a derived class" with a brace-depth heuristic good
+        # enough for this codebase's one-class-per-header style.
+        derived_depth: list[int] = []
+        depth = 0
+
+        for idx, line in enumerate(code_lines):
+            raw = raw_lines[idx] if idx < len(raw_lines) else ""
+            lineno = idx + 1
+
+            if not in_clock and WALL_CLOCK_RE.search(line):
+                self.report(path, lineno, "wall-clock",
+                            "host wall-clock read; simulated time comes "
+                            "from the Scheduler", raw)
+            if not in_rng:
+                if RAW_RANDOM_RE.search(line):
+                    self.report(path, lineno, "raw-random",
+                                "raw randomness source; draw from a seeded "
+                                "politewifi::Rng instead", raw)
+                if RANDOM_INCLUDE_RE.search(line):
+                    self.report(path, lineno, "raw-random",
+                                "<random> outside common/rng", raw)
+            if (m := BANNED_INCLUDE_RE.search(line)):
+                self.report(path, lineno, "banned-include",
+                            f"<{m.group(1)}> is banned in src/", raw)
+            if hot and NEW_DELETE_RE.search(line) \
+                    and not re.search(r"=\s*delete", line):
+                self.report(path, lineno, "raw-new",
+                            "raw new/delete in a sim hot path; pool it or "
+                            "hold it by value", raw)
+            if (m := RANGE_FOR_RE.search(line)):
+                target = m.group(1).strip()
+                base = re.sub(r"^[\w.]*?(\w+)$", r"\1", target.split("->")[0]
+                              .split(".")[0].replace("*", "").strip())
+                flagged = (
+                    target in direct or base in direct
+                    or ("unordered_" in target)
+                    or (base in via_find and "->second" in target)
+                )
+                if flagged:
+                    self.report(path, lineno, "unordered-iteration",
+                                f"iterating '{target}': unordered container "
+                                "order is implementation-defined", raw)
+
+            if CLASS_WITH_BASE_RE.search(line):
+                derived_depth.append(depth)
+            if derived_depth and VIRTUAL_RE.search(line) \
+                    and "override" not in line and "final" not in line \
+                    and "= 0" not in line and "~" not in line:
+                self.report(path, lineno, "missing-override",
+                            "virtual re-declaration in a derived class "
+                            "without override", raw)
+            depth += line.count("{") - line.count("}")
+            while derived_depth and depth <= derived_depth[-1] \
+                    and ("}" in line):
+                derived_depth.pop()
+
+    def check_unused_allows(self) -> None:
+        for key, justification in sorted(self.allowlist.items()):
+            if key not in self.used_allows:
+                self.violations.append(
+                    f"{ALLOWLIST_PATH.relative_to(REPO)}: unused allowlist "
+                    f"entry {key[0]}:{key[1]} ({justification}) — delete it")
+
+
+def load_allowlist() -> dict[tuple[str, str], str]:
+    allows: dict[tuple[str, str], str] = {}
+    if not ALLOWLIST_PATH.exists():
+        return allows
+    for lineno, line in enumerate(ALLOWLIST_PATH.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "#" not in stripped:
+            sys.exit(f"{ALLOWLIST_PATH}:{lineno}: entry without a "
+                     "justification comment")
+        entry, justification = stripped.split("#", 1)
+        try:
+            path, rule = entry.strip().rsplit(":", 1)
+        except ValueError:
+            sys.exit(f"{ALLOWLIST_PATH}:{lineno}: malformed entry "
+                     f"'{entry.strip()}' (want path:rule  # why)")
+        allows[(path, rule)] = justification.strip()
+    return allows
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = sorted((REPO / "src").rglob("*.h")) + \
+            sorted((REPO / "src").rglob("*.cpp"))
+    files = [f for f in files if f.suffix in (".h", ".cpp")
+             and (REPO / "src") in f.parents]
+    linter = Linter(load_allowlist())
+    for f in files:
+        linter.lint_file(f)
+    if not argv:  # full runs keep the allowlist honest
+        linter.check_unused_allows()
+    for v in linter.violations:
+        print(v)
+    if linter.violations:
+        print(f"pw_lint: {len(linter.violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"pw_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
