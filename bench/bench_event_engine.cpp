@@ -5,15 +5,52 @@
 //   2. schedule/cancel churn — the lazy-cancellation path (tombstones)
 //   3. medium fan-out       — one transmitter among 10 / 500 / 5000
 //      attached radios, spatial index on vs off
+//   4. ppdu pipeline        — one injector streaming at 50 receivers,
+//      zero-copy pipeline (shared payloads + frame templates + batched
+//      fan-out) vs the legacy per-frame-allocation configuration, with a
+//      counting-allocator hook proving the steady state allocation-free
 //
 // Emits BENCH_event_engine.json in the same format as the experiment
 // benches, so the engine's perf trajectory is tracked PR over PR.
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "bench_util.h"
+#include "frames/frame.h"
 #include "sim/medium.h"
 #include "sim/radio.h"
+
+// --- Counting allocator hook -------------------------------------------------
+// Replaceable global operator new/delete: every heap allocation in the
+// process bumps one counter, so a bench phase can assert "no allocations
+// happened here" instead of guessing from throughput.
+namespace politewifi::bench_alloc {
+std::uint64_t count = 0;
+}  // namespace politewifi::bench_alloc
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  ++politewifi::bench_alloc::count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t) {
+  return counted_alloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace politewifi;
 
@@ -115,6 +152,86 @@ double bench_fanout(bench::PerfReport& perf, std::size_t n, double extent_m,
   return rounds / dt;
 }
 
+/// One attacker streaming fake null-function frames at `n_rx` in-range
+/// station-less receivers — the inject→transmit→deliver path the battery
+/// attack lives on. `zero_copy` toggles the whole pipeline (shared
+/// pooled payloads, frame-template cache, batched fan-out) against the
+/// legacy per-frame-allocation configuration. Returns frames/sec and,
+/// for the zero-copy run, records the steady-state allocation delta
+/// measured by the counting operator-new hook after a warm-up phase.
+double bench_ppdu_pipeline(bench::PerfReport& perf, bool zero_copy,
+                           std::size_t n_rx, int frames) {
+  sim::Scheduler scheduler;
+  sim::MediumConfig mc;
+  mc.shadowing_sigma_db = 0.0;
+  mc.model_frame_errors = false;
+  // Sub-µs propagation is irrelevant at 100 m and would give every
+  // receiver a distinct arrival time, hiding what this section measures:
+  // batched fan-out collapsing the per-receiver end-of-PPDU events into
+  // one delivery event per transmission.
+  mc.model_propagation_delay = false;
+  mc.pool_ppdus = zero_copy;
+  mc.batched_fanout = zero_copy;
+  mc.frame_templates = zero_copy;
+  sim::Medium medium(scheduler, mc, /*seed=*/7);
+
+  sim::RadioConfig arc;
+  arc.position = {50.0, 50.0};
+  sim::Radio attacker(medium, scheduler, arc);
+
+  Rng rng(1234);
+  std::vector<std::unique_ptr<sim::Radio>> receivers;
+  receivers.reserve(n_rx);
+  for (std::size_t i = 0; i < n_rx; ++i) {
+    sim::RadioConfig rc;
+    rc.position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    receivers.push_back(std::make_unique<sim::Radio>(medium, scheduler, rc));
+  }
+
+  frames::Frame fake = frames::make_null_function(
+      MacAddress::broadcast(), MacAddress::paper_fake_address(), 0);
+  phy::TxVector tx;
+
+  // Warm-up: fills the PPDU pool, the template cache, and the delivery
+  // record free-list so the measured phase sees only recycled capacity.
+  constexpr int kWarmup = 256;
+  std::uint16_t seq = 0;
+  for (int i = 0; i < kWarmup; ++i) {
+    fake.seq.sequence = seq++ & 0x0FFF;
+    attacker.transmit(fake, tx);
+    scheduler.run_all();
+  }
+
+  const std::uint64_t allocs_before = politewifi::bench_alloc::count;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < frames; ++i) {
+    fake.seq.sequence = seq++ & 0x0FFF;
+    attacker.transmit(fake, tx);
+    scheduler.run_all();
+  }
+  const double dt = seconds_since(t0);
+  const std::uint64_t steady_allocs =
+      politewifi::bench_alloc::count - allocs_before;
+
+  const char* mode = zero_copy ? "zero-copy" : "legacy   ";
+  std::printf(
+      "  %s  %7.0f frames/s  %6llu allocs in steady phase  "
+      "%8llu payload bytes copied\n",
+      mode, frames / dt,
+      static_cast<unsigned long long>(steady_allocs),
+      static_cast<unsigned long long>(medium.stats().ppdu_bytes_copied));
+  perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
+  if (zero_copy) {
+    perf.note("ppdu_pipeline_frames_per_sec", frames / dt);
+    perf.note("ppdu_pipeline_steady_allocations", double(steady_allocs));
+    perf.note("ppdu_pipeline_bytes_copied",
+              double(medium.stats().ppdu_bytes_copied));
+  } else {
+    perf.note("ppdu_pipeline_legacy_frames_per_sec", frames / dt);
+  }
+  return frames / dt;
+}
+
 }  // namespace
 
 int main() {
@@ -136,6 +253,17 @@ int main() {
     bench_fanout(perf, n, 2000.0, /*use_index=*/true, rounds);
     bench_fanout(perf, n, 2000.0, /*use_index=*/false,
                  n >= 5000 ? rounds / 10 : rounds);
+  }
+
+  bench::section("ppdu pipeline: 1 attacker -> 50 receivers");
+  const int pipeline_frames = scale >= 1.0 ? 20000 : 2000;
+  const double legacy =
+      bench_ppdu_pipeline(perf, /*zero_copy=*/false, 50, pipeline_frames);
+  const double zc =
+      bench_ppdu_pipeline(perf, /*zero_copy=*/true, 50, pipeline_frames);
+  if (legacy > 0.0) {
+    bench::kvf("zero-copy speedup", "%.2fx", zc / legacy);
+    perf.note("ppdu_pipeline_speedup", zc / legacy);
   }
 
   perf.finish();

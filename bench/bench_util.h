@@ -6,8 +6,11 @@
 //
 // Every bench also reports engine throughput (events/sec, simulated-time
 // over wall-time) and emits a machine-readable BENCH_<name>.json via
-// PerfReport, so the perf trajectory is tracked PR over PR. Set
-// PW_BENCH_DIR to redirect where the JSON lands (default: cwd).
+// PerfReport, so the perf trajectory is tracked PR over PR. The JSONs
+// land at the repo root (PW_BENCH_DEFAULT_DIR, baked in by CMake) where
+// they are committed; tools/bench_compare.py diffs a fresh run against
+// the committed baselines and the bench-regression CI job gates on it.
+// Set PW_BENCH_DIR to redirect where the JSON lands (e.g. CI scratch).
 #pragma once
 
 #include <chrono>
@@ -120,9 +123,14 @@ class PerfReport {
     kvf("sim-time / wall-time", "%.2f", ratio);
 
     const char* dir = std::getenv("PW_BENCH_DIR");
+#ifdef PW_BENCH_DEFAULT_DIR
+    const std::string base(dir != nullptr ? dir : PW_BENCH_DEFAULT_DIR);
+#else
+    const std::string base(dir != nullptr ? dir : "");
+#endif
     const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
-        name_ + ".json";
+        (base.empty() ? std::string() : base + "/") + "BENCH_" + name_ +
+        ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fprintf(f,
                    "{\n"

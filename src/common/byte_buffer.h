@@ -29,6 +29,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts an existing buffer, reusing its capacity (the pooled-PPDU
+  /// serialization path); the previous contents are discarded.
+  explicit ByteWriter(Bytes&& adopt) : buf_(std::move(adopt)) { buf_.clear(); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 

@@ -20,6 +20,9 @@ BatteryAttackResult BatteryDrainAttack::run(double rate_pps, Duration warmup,
   meter.reset(sim_.now());
   const std::uint64_t acks_before = victim_.station().stats().acks_sent;
   const std::uint64_t injected_before = injector_.stats().frames_injected;
+  const auto tmpl_before = attacker_.radio().tx_template_cache().stats();
+  const std::uint64_t allocs_before =
+      sim_.medium().ppdu_pool().stats().allocations;
 
   sim_.run_for(measure);
 
@@ -31,6 +34,11 @@ BatteryAttackResult BatteryDrainAttack::run(double rate_pps, Duration warmup,
   result.acks_elicited = victim_.station().stats().acks_sent - acks_before;
   result.frames_injected =
       injector_.stats().frames_injected - injected_before;
+  const auto& tmpl = attacker_.radio().tx_template_cache().stats();
+  result.template_hits = tmpl.hits - tmpl_before.hits;
+  result.template_misses = tmpl.misses - tmpl_before.misses;
+  result.pool_allocations =
+      sim_.medium().ppdu_pool().stats().allocations - allocs_before;
 
   injector_.stop_all();
   return result;

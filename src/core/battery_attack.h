@@ -17,6 +17,14 @@ struct BatteryAttackResult {
   double sleep_fraction = 0.0;     // time spent dozing during measurement
   std::uint64_t acks_elicited = 0; // victim ACK count delta
   std::uint64_t frames_injected = 0;
+  /// Zero-copy pipeline health during the measured window: injected
+  /// frames served by the attacker radio's template cache (vs full
+  /// serializations) and fresh PPDU buffers the medium had to allocate.
+  /// In steady state the hit rate approaches 1 and the allocation delta
+  /// approaches 0 — the bench regression gate watches the same counters.
+  std::uint64_t template_hits = 0;
+  std::uint64_t template_misses = 0;
+  std::uint64_t pool_allocations = 0;
 };
 
 class BatteryDrainAttack {

@@ -8,13 +8,24 @@ FakeFrameInjector::FakeFrameInjector(sim::Device& attacker,
                                      InjectorConfig config)
     : attacker_(attacker), config_(config) {}
 
-frames::Frame FakeFrameInjector::craft(const MacAddress& target) {
-  if (config_.use_rts) {
+const frames::Frame& FakeFrameInjector::craft(const MacAddress& target) {
+  auto it = crafted_.find(target);
+  if (it == crafted_.end()) {
     // NAV long enough for CTS; the victim answers with CTS at SIFS.
-    return frames::make_rts(target, config_.spoofed_source, 60);
+    it = crafted_
+             .emplace(target,
+                      config_.use_rts
+                          ? frames::make_rts(target, config_.spoofed_source, 60)
+                          : frames::make_null_function(
+                                target, config_.spoofed_source, 0))
+             .first;
   }
-  return frames::make_null_function(target, config_.spoofed_source,
-                                    sequence_++ & 0x0FFF);
+  if (!config_.use_rts) {
+    // Only the sequence number advances between injections (RTS frames
+    // carry no sequence control and consume none).
+    it->second.seq.sequence = sequence_++ & 0x0FFF;
+  }
+  return it->second;
 }
 
 void FakeFrameInjector::inject_one(const MacAddress& target) {

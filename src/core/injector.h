@@ -65,13 +65,17 @@ class FakeFrameInjector {
 
   void schedule_next(const MacAddress& target, std::uint64_t generation);
   void fire_stream(const MacAddress& target, std::uint64_t generation);
-  frames::Frame craft(const MacAddress& target);
+  /// The fake frame for `target`, crafted once per target and then only
+  /// seq-patched per injection — so a 1000 fps stream feeds the radio's
+  /// frame-template cache the same Frame object every time.
+  const frames::Frame& craft(const MacAddress& target);
 
   sim::Device& attacker_;
   InjectorConfig config_;
   InjectorStats stats_;
   std::uint16_t sequence_ = 0;
   std::unordered_map<MacAddress, Stream> streams_;
+  std::unordered_map<MacAddress, frames::Frame> crafted_;
   std::uint64_t next_generation_ = 1;
 };
 

@@ -221,6 +221,9 @@ WardriveReport WardriveCampaign::run() {
   }
   report.fake_frames_sent = injector_->stats().frames_injected;
   report.acks_observed = acks_observed_;
+  report.ppdu_acquires = sim_.medium().ppdu_pool().stats().acquires;
+  report.ppdu_allocations = sim_.medium().ppdu_pool().stats().allocations;
+  report.ppdu_bytes_copied = sim_.medium().stats().ppdu_bytes_copied;
   report.client_table = tally_vendors(scanner_->devices(), /*aps=*/false);
   report.ap_table = tally_vendors(scanner_->devices(), /*aps=*/true);
   report.distinct_vendors = [&] {

@@ -33,7 +33,7 @@ std::optional<CcmpHeader> CcmpHeader::deserialize(ByteReader& r) {
 }
 
 Frame make_data_to_ds(const MacAddress& bssid, const MacAddress& sa,
-                      const MacAddress& da, Bytes msdu,
+                      const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                       std::uint16_t sequence) {
   Frame f;
   f.fc = FrameControl::data(DataSubtype::kData);
@@ -47,7 +47,7 @@ Frame make_data_to_ds(const MacAddress& bssid, const MacAddress& sa,
 }
 
 Frame make_data_from_ds(const MacAddress& bssid, const MacAddress& sa,
-                        const MacAddress& da, Bytes msdu,
+                        const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                         std::uint16_t sequence) {
   Frame f;
   f.fc = FrameControl::data(DataSubtype::kData);
@@ -61,7 +61,7 @@ Frame make_data_from_ds(const MacAddress& bssid, const MacAddress& sa,
 }
 
 Frame make_qos_data_to_ds(const MacAddress& bssid, const MacAddress& sa,
-                          const MacAddress& da, Bytes msdu,
+                          const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                           std::uint16_t sequence, std::uint8_t tid) {
   Frame f = make_data_to_ds(bssid, sa, da, std::move(msdu), sequence);
   f.fc.subtype = static_cast<std::uint8_t>(DataSubtype::kQosData);

@@ -34,17 +34,17 @@ struct CcmpHeader {
 /// The body is the raw MSDU; call pw_crypto's protect() to encrypt in
 /// place for WPA2 links.
 Frame make_data_to_ds(const MacAddress& bssid, const MacAddress& sa,
-                      const MacAddress& da, Bytes msdu,
+                      const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                       std::uint16_t sequence);
 
 /// A data frame delivered by the AP (FromDS) to station `da`.
 Frame make_data_from_ds(const MacAddress& bssid, const MacAddress& sa,
-                        const MacAddress& da, Bytes msdu,
+                        const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                         std::uint16_t sequence);
 
 /// QoS data variant (adds the 2-octet QoS Control field, TID in low bits).
 Frame make_qos_data_to_ds(const MacAddress& bssid, const MacAddress& sa,
-                          const MacAddress& da, Bytes msdu,
+                          const MacAddress& da, Bytes msdu,  // pw-lint: allow(by-value-bytes)
                           std::uint16_t sequence, std::uint8_t tid);
 
 /// PS-Poll control frame: a dozing station asks the AP for buffered

@@ -83,7 +83,7 @@ class FrameBuilder {
     frame_.qos_control = qc;
     return *this;
   }
-  FrameBuilder& body(Bytes b) {
+  FrameBuilder& body(Bytes b) {  // pw-lint: allow(by-value-bytes)
     frame_.body = std::move(b);
     return *this;
   }

@@ -1,0 +1,63 @@
+// Frame-template cache: serialize once, patch seq/retry in place.
+//
+// The paper's attacks stream the *same* frame thousands of times per
+// second — a null-function to the victim with only the sequence number
+// advancing, or a victim's ACK to the one spoofed address. Serializing
+// (header layout + CRC over every octet + an allocation) per frame is
+// pure waste: this cache renders a frame once into a pooled buffer and,
+// while subsequent frames differ only in sequence number and/or retry
+// bit, patches those bytes in place and fixes the FCS incrementally —
+// the CRC prefix up to the sequence-control field is memoized, so only
+// the suffix reruns through the slicing-by-8 tables.
+//
+// The rendered octets are handed out as shared PpduRefs; if a previous
+// frame's buffer is still in flight (receivers hold references), the
+// patch lands in a fresh pooled buffer instead — shared octets are never
+// mutated.
+#pragma once
+
+#include <cstdint>
+
+#include "frames/frame.h"
+#include "frames/ppdu.h"
+
+namespace politewifi::frames {
+
+class FrameTemplateCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;            // template matched, seq/retry patched
+    std::uint64_t misses = 0;          // full render
+    std::uint64_t in_place_patches = 0;  // hit with a unique buffer
+    std::uint64_t copied_patches = 0;  // hit, but the buffer was shared
+    std::uint64_t bytes_copied = 0;    // octets copied by shared-hit renders
+  };
+
+  /// The on-air octets of `frame`, byte-identical to serialize(frame),
+  /// with buffers drawn from `pool`.
+  PpduRef render(const Frame& frame, PpduPool& pool);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool used = false;
+    Frame proto;        // the frame `rendered` currently encodes
+    PpduRef rendered;   // cache's reference to the rendered octets
+    std::size_t seq_offset = 0;   // 0 = frame has no sequence control
+    std::uint32_t prefix_crc = 0;  // CRC state over [0, seq_offset)
+  };
+
+  /// Direct-mapped and tiny on purpose: a station's steady-state traffic
+  /// is a handful of distinct frame shapes (its ACK, its injected fake,
+  /// its beacon), and a miss just re-renders.
+  static constexpr std::size_t kEntries = 8;
+
+  Entry& slot_for(const Frame& frame);
+  static void render_full(const Frame& frame, Entry& e, PpduPool& pool);
+
+  Entry entries_[kEntries];
+  Stats stats_;
+};
+
+}  // namespace politewifi::frames

@@ -39,10 +39,10 @@ class ElementList {
  public:
   ElementList() = default;
 
-  void add(std::uint8_t id, Bytes value) {
+  void add(std::uint8_t id, Bytes value) {  // pw-lint: allow(by-value-bytes)
     elements_.push_back({id, std::move(value)});
   }
-  void add(ElementId id, Bytes value) {
+  void add(ElementId id, Bytes value) {  // pw-lint: allow(by-value-bytes)
     add(static_cast<std::uint8_t>(id), std::move(value));
   }
 

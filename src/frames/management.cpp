@@ -142,7 +142,7 @@ namespace {
 
 Frame make_management(ManagementSubtype subtype, const MacAddress& ra,
                       const MacAddress& ta, const MacAddress& bssid,
-                      Bytes body, std::uint16_t sequence) {
+                      Bytes body, std::uint16_t sequence) {  // pw-lint: allow(by-value-bytes)
   Frame f;
   f.fc = FrameControl::management(subtype);
   f.addr1 = ra;

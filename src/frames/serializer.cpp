@@ -42,8 +42,8 @@ MacAddress read_mac(ByteReader& r) {
 
 }  // namespace
 
-Bytes serialize(const Frame& frame) {
-  ByteWriter w(frame.size_bytes());
+void serialize_into(const Frame& frame, Bytes& out) {
+  ByteWriter w(std::move(out));
   w.u16le(frame.fc.pack());
   w.u16le(frame.duration_id);
   write_mac(w, frame.addr1);
@@ -54,10 +54,16 @@ Bytes serialize(const Frame& frame) {
   if (frame.has_qos_control()) w.u16le(frame.qos_control);
   w.bytes(frame.body);
   w.u32le(crc32(w.view()));
-  Bytes raw = w.take();
+  out = w.take();
 #if PW_AUDIT_ENABLED
-  audit_round_trip(frame, raw);
+  audit_round_trip(frame, out);
 #endif
+}
+
+Bytes serialize(const Frame& frame) {
+  Bytes raw;
+  raw.reserve(frame.size_bytes());
+  serialize_into(frame, raw);
   return raw;
 }
 

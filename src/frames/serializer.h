@@ -15,6 +15,16 @@ namespace politewifi::frames {
 /// Serializes `frame` to its exact on-air octet string, FCS included.
 Bytes serialize(const Frame& frame);
 
+/// Serializes into `out`, reusing its capacity (the previous contents are
+/// discarded). The allocation-free path for pooled PPDU buffers; produces
+/// exactly the octets serialize() would.
+void serialize_into(const Frame& frame, Bytes& out);
+
+/// Octet offset of the Sequence Control field for frames that carry one
+/// (fc + duration + addr1..addr3). The frame-template cache patches the
+/// two bytes at this offset in place.
+inline constexpr std::size_t kSequenceControlOffset = 2 + 2 + 6 + 6 + 6;
+
 /// Outcome of deserializing a received octet string.
 struct DeserializeResult {
   std::optional<Frame> frame;  // nullopt if the frame could not be decoded

@@ -198,11 +198,27 @@ void Station::schedule_validating_ack(const Frame& frame,
 bool Station::is_duplicate(const Frame& frame) {
   if (!frame.has_sequence_control()) return false;
   const std::uint16_t sc = frame.seq.pack();
-  const auto it = dedup_cache_.find(frame.addr2);
-  const bool dup =
-      it != dedup_cache_.end() && it->second == sc && frame.fc.retry;
-  dedup_cache_[frame.addr2] = sc;
-  return dup;
+  const std::uint64_t now = ++dedup_clock_;
+  for (DedupEntry& e : dedup_cache_) {
+    if (e.addr != frame.addr2) continue;
+    const bool dup = e.sc == sc && frame.fc.retry;
+    e.sc = sc;
+    e.stamp = now;
+    return dup;
+  }
+  if (dedup_cache_.size() < config_.dedup_cache_size) {
+    dedup_cache_.push_back(DedupEntry{frame.addr2, sc, now});
+    return false;
+  }
+  // Full: evict the least-recently-touched transmitter. Forgetting an old
+  // peer only risks one spurious non-duplicate delivery, exactly like a
+  // real NIC's bounded cache.
+  DedupEntry* lru = &dedup_cache_.front();
+  for (DedupEntry& e : dedup_cache_) {
+    if (e.stamp < lru->stamp) lru = &e;
+  }
+  *lru = DedupEntry{frame.addr2, sc, now};
+  return false;
 }
 
 // ---------------------------------------------------------------------------

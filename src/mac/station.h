@@ -16,7 +16,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/mac_address.h"
@@ -57,6 +57,11 @@ struct MacConfig {
   /// RTS/CTS protection: unicast frames larger than this are preceded by
   /// an RTS/CTS handshake (dot11RTSThreshold). Default: never.
   std::size_t rts_threshold = std::size_t(-1);
+  /// Duplicate-detection cache capacity (distinct transmitter addresses
+  /// remembered). Real NICs keep a handful of entries; a bounded cache
+  /// also stops an address-sweeping injector from growing a victim's
+  /// memory without bound.
+  std::size_t dedup_cache_size = 64;
 };
 
 /// Outcome of a Station::send call, delivered via callback.
@@ -158,6 +163,10 @@ class Station {
   /// The ARF controller (meaningful when config().adaptive_rate).
   const ArfRateController& rate_controller() const { return arf_; }
 
+  /// Occupied duplicate-detection entries (bounded by
+  /// config().dedup_cache_size; tests assert the cap holds).
+  std::size_t dedup_cache_entries() const { return dedup_cache_.size(); }
+
  private:
   struct PendingTx {
     Frame frame;
@@ -192,8 +201,18 @@ class Station {
 
   bool dozing_ = false;
 
-  // Duplicate-detection cache: last sequence control per transmitter.
-  std::unordered_map<MacAddress, std::uint16_t> dedup_cache_;
+  // Duplicate-detection cache: last sequence control per transmitter,
+  // capacity-capped LRU. A flat vector with stamp-based eviction beats a
+  // hash map here: the working set is a handful of peers, every lookup is
+  // a short linear scan, and the memory bound holds under an injector
+  // sweeping spoofed source addresses.
+  struct DedupEntry {
+    MacAddress addr;
+    std::uint16_t sc;
+    std::uint64_t stamp;  // last-touched tick (LRU eviction key)
+  };
+  std::vector<DedupEntry> dedup_cache_;
+  std::uint64_t dedup_clock_ = 0;
 
   // DCF state.
   std::deque<PendingTx> tx_queue_;

@@ -9,7 +9,8 @@
 namespace politewifi::sensing {
 
 double dtw_distance(const std::vector<double>& a,
-                    const std::vector<double>& b, int band) {
+                    const std::vector<double>& b, int band,
+                    double abandon_above) {
   const std::size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
 
@@ -26,10 +27,16 @@ double dtw_distance(const std::vector<double>& a,
     const std::size_t j_lo =
         i > std::size_t(effective_band) ? i - effective_band : 1;
     const std::size_t j_hi = std::min(m, i + std::size_t(effective_band));
+    double row_min = inf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double cost = std::abs(a[i - 1] - b[j - 1]);
       curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+      row_min = std::min(row_min, curr[j]);
     }
+    // Early abandon: every warping path through row i costs at least
+    // row_min, and per-cell costs are non-negative, so the final distance
+    // is >= row_min > abandon_above — this template can't win.
+    if (row_min > abandon_above) return inf;
     std::swap(prev, curr);
   }
   return prev[m];
@@ -41,7 +48,9 @@ int dtw_classify(const std::vector<double>& query,
   int best = -1;
   double best_d = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < templates.size(); ++i) {
-    const double d = dtw_distance(query, templates[i], band);
+    // The running best is the abandon threshold: a template whose DP row
+    // ever exceeds it returns inf and cannot displace the argmin.
+    const double d = dtw_distance(query, templates[i], band, best_d);
     if (d < best_d) {
       best_d = d;
       best = int(i);

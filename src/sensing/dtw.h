@@ -5,14 +5,24 @@
 // we provide the same primitive with a Sakoe-Chiba band.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 namespace politewifi::sensing {
 
 /// DTW distance between two series with a warping band of `band` samples
 /// (band <= 0 means unconstrained). Euclidean point cost.
+///
+/// `abandon_above` enables early abandoning: once every cell of a DP row
+/// exceeds it, the final distance provably will too (cell costs are
+/// non-negative, so path costs only grow), and infinity is returned
+/// instead of finishing the matrix. Any result <= abandon_above is exact.
+/// dtw_classify threads its best-so-far through this, which prunes most
+/// of the work across a template library without changing the argmin.
 double dtw_distance(const std::vector<double>& a,
-                    const std::vector<double>& b, int band = 0);
+                    const std::vector<double>& b, int band = 0,
+                    double abandon_above =
+                        std::numeric_limits<double>::infinity());
 
 /// Index of the template with the smallest DTW distance to `query`
 /// (-1 when `templates` is empty).

@@ -58,6 +58,7 @@ std::uint64_t chan_key_of(const Radio& r) {
 
 Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
     : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {
+  ppdu_pool_.set_pooling(config_.pool_ppdus);
   // Cell edge = detection range at the EIRP ceiling on 2.4 GHz (the band
   // with the smaller reference loss, i.e. the longer reach), so one ring
   // of neighbour cells always covers a real frame's detection disc.
@@ -397,8 +398,73 @@ void Medium::build_neighbor_list(Radio& sender, double tx_power_dbm) {
   sender.nb_power_dbm_ = tx_power_dbm;
 }
 
+std::size_t Medium::acquire_record() {
+  if (!free_records_.empty()) {
+    const std::size_t idx = free_records_.back();
+    free_records_.pop_back();
+    return idx;
+  }
+  records_.push_back(std::make_unique<TransmissionRecord>());
+  return records_.size() - 1;
+}
+
+void Medium::release_record(std::size_t rec_idx) {
+  TransmissionRecord& rec = *records_[rec_idx];
+  rec.ppdu.reset();
+  rec.sender = nullptr;
+  rec.deliveries.clear();  // keeps capacity for the record's next life
+  rec.next = 0;
+  rec.live = false;
+  free_records_.push_back(rec_idx);
+}
+
+void Medium::schedule_batch(std::size_t rec_idx) {
+  TransmissionRecord& rec = *records_[rec_idx];
+  // Stable sort by arrival: ties keep fan-out order, which is exactly the
+  // order the legacy per-receiver events finalized in (the scheduler is
+  // FIFO within a timestamp). Insertion sort, not std::stable_sort: the
+  // latter allocates a merge buffer per call, and the list is short and
+  // already nearly sorted (arrival time grows with distance, and fan-out
+  // visits cells near-to-far-ish), so this stays in place and cheap.
+  for (std::size_t i = 1; i < rec.deliveries.size(); ++i) {
+    PendingDelivery d = rec.deliveries[i];
+    std::size_t j = i;
+    for (; j > 0 && d.rx_end < rec.deliveries[j - 1].rx_end; --j) {
+      rec.deliveries[j] = rec.deliveries[j - 1];
+    }
+    rec.deliveries[j] = d;
+  }
+  // All group events are scheduled here, inside the transmit() call, so
+  // their sequence numbers occupy the same window the per-receiver events
+  // did — event order stays byte-identical across the toggle.
+  for (std::size_t i = 0; i < rec.deliveries.size(); ++i) {
+    if (i > 0 && rec.deliveries[i].rx_end == rec.deliveries[i - 1].rx_end) {
+      continue;
+    }
+    ++stats_.delivery_events;
+    scheduler_.schedule_at(rec.deliveries[i].rx_end,
+                           [this, rec_idx] { run_batch(rec_idx); });
+  }
+}
+
+void Medium::run_batch(std::size_t rec_idx) {
+  // Reference through the unique_ptr: the record is address-stable even
+  // if a nested transmit (a receiver ACKing from deliver()) grows
+  // records_ mid-loop.
+  TransmissionRecord& rec = *records_[rec_idx];
+  PW_DCHECK(rec.live, "batch delivery fired on a released record");
+  const TimePoint now = scheduler_.now();
+  while (rec.next < rec.deliveries.size() &&
+         rec.deliveries[rec.next].rx_end == now) {
+    const PendingDelivery d = rec.deliveries[rec.next++];
+    finalize_reception(d.radio, d.reception_id, rec.ppdu, rec.tx, d.rx_start,
+                       d.rx_end, d.power_dbm, d.awake_at_start, rec.sender);
+  }
+  if (rec.next == rec.deliveries.size()) release_record(rec_idx);
+}
+
 void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
-                             const std::shared_ptr<const Bytes>& ppdu,
+                             std::size_t rec_idx, const frames::PpduRef& ppdu,
                              const phy::TxVector& tx, TimePoint start,
                              TimePoint end) {
   // Finite-speed-of-light arrival: the PPDU occupies [start+d/c, end+d/c]
@@ -413,9 +479,11 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
 
   const std::uint64_t rid = next_reception_id_++;
   ++stats_.receptions;
+  const bool awake_at_start = !rx_radio->sleeping();
   auto& state = rx_radio->rx_state_;
-  state.list.push_back(Reception{rid, rx_start, rx_end, rx_dbm,
-                                 dbm_to_mw(rx_dbm), !rx_radio->sleeping()});
+  state.list.push_back(
+      Reception{rid, rx_start, rx_end, rx_dbm, dbm_to_mw(rx_dbm),
+                awake_at_start});
   // Amortized prune: sweep the list when it doubles, not on every push.
   if (state.list.size() >= state.prune_at) {
     prune(state.list);
@@ -429,18 +497,35 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
     rx_radio->energy().set_state(RadioState::kRx, rx_start);
   }
 
-  // The capture list stays under SmallFn's inline budget (the PPDU is a
-  // shared_ptr, not a per-receiver byte copy), so a city-wide fan-out
-  // schedules thousands of receptions without a single heap allocation.
+  if (rec_idx != kNoRecord) {
+    // Batched fan-out: queue the delivery on the transmission's record.
+    // No per-receiver event, no per-receiver payload reference.
+    records_[rec_idx]->deliveries.push_back(PendingDelivery{
+        rx_radio, rid, rx_start, rx_end, rx_dbm, awake_at_start});
+    return;
+  }
+
+  // Legacy per-receiver scheduling. The capture list stays under
+  // SmallFn's inline budget (the PPDU is a pointer-sized ref, not a
+  // per-receiver byte copy), so even this path schedules a city-wide
+  // fan-out without byte copies.
   scheduler_.schedule_at(
       rx_end, [this, rx_radio, rid, ppdu, tx, rx_start, rx_end, rx_dbm,
-               sender_ptr = &sender]() mutable {
-        finalize_reception(rx_radio, rid, std::move(ppdu), tx, rx_start,
-                           rx_end, rx_dbm, sender_ptr);
+               awake_at_start, sender_ptr = &sender]() {
+        finalize_reception(rx_radio, rid, ppdu, tx, rx_start, rx_end, rx_dbm,
+                           awake_at_start, sender_ptr);
       });
 }
 
-void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
+void Medium::transmit(Radio& sender, std::span<const std::uint8_t> ppdu,
+                      const phy::TxVector& tx) {
+  frames::PpduRef pooled = ppdu_pool_.acquire();
+  pooled.mutable_octets().assign(ppdu.begin(), ppdu.end());
+  transmit(sender, std::move(pooled), tx);
+}
+
+void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
+                      const phy::TxVector& tx) {
   const TimePoint start = scheduler_.now();
   const Duration airtime = phy::ppdu_airtime(tx.rate, ppdu.size());
   const TimePoint end = start + airtime;
@@ -466,8 +551,20 @@ void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
   });
 
   // One shared buffer for every receiver of this PPDU; receivers only
-  // copy it on the (rare) corruption path.
-  const auto shared_ppdu = std::make_shared<const Bytes>(std::move(ppdu));
+  // copy it on the (rare) corruption path. Batched mode parks the payload
+  // and the delivery list on a pooled record; legacy mode gives each
+  // scheduled event its own reference.
+  std::size_t rec_idx = kNoRecord;
+  if (config_.batched_fanout) {
+    rec_idx = acquire_record();
+    TransmissionRecord& rec = *records_[rec_idx];
+    rec.ppdu = std::move(ppdu);
+    rec.tx = tx;
+    rec.sender = &sender;
+    rec.live = true;
+  }
+  const frames::PpduRef& shared_ppdu =
+      rec_idx != kNoRecord ? records_[rec_idx]->ppdu : ppdu;
 
   // Shared by every fan-out flavor: one volatile (recently moved/retuned)
   // radio, checked from scratch.
@@ -484,56 +581,92 @@ void Medium::transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx) {
     }
     const double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
     if (rx_dbm < config_.detect_threshold_dbm) return;
-    begin_reception(sender, rx_radio, rx_dbm, shared_ppdu, tx, start, end);
+    begin_reception(sender, rx_radio, rx_dbm, rec_idx, shared_ppdu, tx, start,
+                    end);
   };
 
-  if (!config_.use_spatial_index) {
-    for (Radio* rx_radio : radios_) try_receiver(rx_radio);
-    return;
-  }
-
-  if (sender.volatile_) {
-    // A mover has no stable neighbor list; scan the grid candidates.
-    // Borrow the scratch buffer (swap keeps this re-entrancy safe: a
-    // nested transmit from a trace sink would just allocate its own).
-    std::vector<Radio*> candidates;
-    std::swap(candidates, scratch_);
-    candidates.clear();
-    collect_candidates(sender, tx.power_dbm, candidates);
-    for (Radio* rx_radio : candidates) try_receiver(rx_radio);
-    std::swap(candidates, scratch_);
-    return;
-  }
-
-  // Static sender: replay the cached fan-out, interleaving the few
-  // volatile radios at their attach positions so reception ids and event
-  // order stay byte-identical to the brute-force scan.
-  if (sender.nb_epoch_ != static_epoch_ ||
-      sender.nb_self_version_ != sender.geometry_version_ ||
-      tx.power_dbm > sender.nb_power_dbm_) {
-    build_neighbor_list(sender, tx.power_dbm);
-  }
-  auto vit = volatile_radios_.begin();
-  const auto vend = volatile_radios_.end();
-  for (const NeighborEntry& e : sender.neighbors_) {
-    while (vit != vend && (*vit)->attach_order_ < e.order) {
-      try_receiver(*vit++);
+  const auto fan_out = [&] {
+    if (!config_.use_spatial_index) {
+      for (Radio* rx_radio : radios_) try_receiver(rx_radio);
+      return;
     }
-    ++stats_.candidates_scanned;
-    if (e.radio->sleeping()) continue;
-    const double rx_dbm = tx.power_dbm + e.gain_db;
-    if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
-    begin_reception(sender, e.radio, rx_dbm, shared_ppdu, tx, start, end);
+
+    if (sender.volatile_) {
+      // A mover has no stable neighbor list; scan the grid candidates.
+      // Borrow the scratch buffer (swap keeps this re-entrancy safe: a
+      // nested transmit from a trace sink would just allocate its own).
+      std::vector<Radio*> candidates;
+      std::swap(candidates, scratch_);
+      candidates.clear();
+      collect_candidates(sender, tx.power_dbm, candidates);
+      for (Radio* rx_radio : candidates) try_receiver(rx_radio);
+      std::swap(candidates, scratch_);
+      return;
+    }
+
+    // Static sender: replay the cached fan-out, interleaving the few
+    // volatile radios at their attach positions so reception ids and
+    // event order stay byte-identical to the brute-force scan.
+    if (sender.nb_epoch_ != static_epoch_ ||
+        sender.nb_self_version_ != sender.geometry_version_ ||
+        tx.power_dbm > sender.nb_power_dbm_) {
+      build_neighbor_list(sender, tx.power_dbm);
+    }
+    auto vit = volatile_radios_.begin();
+    const auto vend = volatile_radios_.end();
+    for (const NeighborEntry& e : sender.neighbors_) {
+      while (vit != vend && (*vit)->attach_order_ < e.order) {
+        try_receiver(*vit++);
+      }
+      ++stats_.candidates_scanned;
+      if (e.radio->sleeping()) continue;
+      const double rx_dbm = tx.power_dbm + e.gain_db;
+      if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
+      begin_reception(sender, e.radio, rx_dbm, rec_idx, shared_ppdu, tx,
+                      start, end);
+    }
+    while (vit != vend) try_receiver(*vit++);
+  };
+  fan_out();
+
+  if (rec_idx != kNoRecord) {
+    if (records_[rec_idx]->deliveries.empty()) {
+      release_record(rec_idx);  // nobody in range; recycle immediately
+    } else {
+      schedule_batch(rec_idx);
+    }
   }
-  while (vit != vend) try_receiver(*vit++);
 }
 
 void Medium::prune(std::vector<Reception>& list) const {
   const TimePoint now = scheduler_.now();
-  // Keep receptions that might still interfere with an in-flight frame:
-  // anything that ended more than a beacon ago is irrelevant.
-  std::erase_if(list, [now](const Reception& r) {
-    return r.end + milliseconds(10) < now;
+  if (!config_.batched_fanout) {
+    // Legacy delivery keeps its legacy retention: anything that ended
+    // within the last beacon might still be scanned, so the reference
+    // pipeline's reception-list churn stays faithful to what it was.
+    std::erase_if(list, [now](const Reception& r) {
+      return r.end + milliseconds(10) < now;
+    });
+    return;
+  }
+  // A record is dead once (a) its own finalize event has fired (end < now
+  // — events at `end` run before time moves past it) and (b) it cannot
+  // overlap any reception still pending on this radio: overlap with a
+  // pending p needs end > p.start, so end <= min pending start rules it
+  // out. Receptions begin at transmit time, so nothing scheduled later
+  // can start before `now` — dropping these entries provably never
+  // changes an interference sum, a carrier-sense answer, or a finalize
+  // lookup. (A fixed 10 ms horizon used to stand in for this; under a
+  // kHz-rate injection stream it kept hundreds of dead entries per radio
+  // and their O(n) scans dominated the delivery path.)
+  TimePoint min_pending_start = TimePoint::max();
+  for (const Reception& r : list) {
+    if (r.end >= now && r.start < min_pending_start) {
+      min_pending_start = r.start;
+    }
+  }
+  std::erase_if(list, [now, min_pending_start](const Reception& r) {
+    return r.end < now && r.end <= min_pending_start;
   });
 }
 
@@ -550,15 +683,13 @@ bool Medium::busy_for(const Radio& radio) const {
 }
 
 void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
-                                std::shared_ptr<const Bytes> ppdu,
+                                const frames::PpduRef& ppdu,
                                 const phy::TxVector& tx, TimePoint start,
                                 TimePoint end, double power_dbm,
-                                const Radio* sender) {
+                                bool awake_at_start, const Radio* sender) {
   auto& list = receiver->rx_state_.list;
 
   // Settle RX energy state first.
-  const bool was_counted =
-      !receiver->sleeping() || receiver->rx_nesting_ > 0;
   if (receiver->rx_nesting_ > 0) {
     receiver->rx_nesting_--;
     if (receiver->rx_nesting_ == 0 &&
@@ -567,18 +698,10 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
           receiver->sleeping() ? RadioState::kSleep : RadioState::kIdle, end);
     }
   }
-  (void)was_counted;
 
-  // Find our reception record (and whether the radio was awake for it).
-  bool awake_at_start = false;
-  for (const auto& r : list) {
-    if (r.id == reception_id) {
-      awake_at_start = r.receiver_awake_at_start;
-      break;
-    }
-  }
-
-  // Half-duplex and sleep gating.
+  // Half-duplex and sleep gating. `awake_at_start` rode along with the
+  // delivery (batched record or legacy capture) instead of being fished
+  // out of the reception list — same value, no O(list) lookup.
   if (!awake_at_start || receiver->sleeping()) return;
   if (receiver->transmitting_during(start, end)) return;
 
@@ -605,16 +728,21 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
   } else if (sinr_db < phy::kPreambleDetectSnrDb) {
     return;  // not even detectable as a frame
   } else if (config_.model_frame_errors) {
-    const double fer = cached_frame_error_rate(tx.rate, sinr_db, ppdu->size());
+    const double fer = cached_frame_error_rate(tx.rate, sinr_db, ppdu.size());
     if (rng_.bernoulli(fer)) corrupted = true;
   }
 
-  const Bytes* payload = ppdu.get();
-  Bytes damaged;
+  const Bytes* payload = &ppdu.octets();
+  frames::PpduRef damaged_ref;
   if (corrupted) {
     // Channel damage: flip bits so the FCS fails at the MAC. The shared
-    // buffer is copied only here — intact receivers never copy.
-    damaged = *ppdu;
+    // buffer is immutable, so only this copy-on-corrupt path ever copies
+    // payload octets after transmit() took ownership — and the copy lands
+    // in a pooled buffer, not a fresh heap block.
+    damaged_ref = ppdu_pool_.acquire();
+    Bytes& damaged = damaged_ref.mutable_octets();
+    damaged.assign(ppdu.octets().begin(), ppdu.octets().end());
+    stats_.ppdu_bytes_copied += damaged.size();
     frames::corrupt(damaged, 3, splitmix(reception_id));
     payload = &damaged;
   }
@@ -790,6 +918,33 @@ void Medium::audit_coherence() const {
                "grid query missed in-range radio %llu for sender %llu",
                static_cast<unsigned long long>(rx->id()),
                static_cast<unsigned long long>(sender->id()));
+    }
+  }
+
+  // PPDU pool internals: free-list flags and refcounts must agree.
+  ppdu_pool_.audit();
+
+  // Transmission records: the free list must hold exactly the non-live
+  // record slots, each exactly once, and a free record must not pin a
+  // payload buffer or undelivered receptions.
+  std::vector<bool> is_free(records_.size(), false);
+  for (const std::size_t idx : free_records_) {
+    PW_CHECK(idx < records_.size(), "free-record index out of range");
+    PW_CHECK(!is_free[idx], "record %zu on the free list twice", idx);
+    is_free[idx] = true;
+  }
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TransmissionRecord& rec = *records_[i];
+    PW_CHECK(rec.live != is_free[i],
+             "record %zu live flag disagrees with the free list", i);
+    if (!rec.live) {
+      PW_CHECK(!rec.ppdu && rec.deliveries.empty() && rec.next == 0,
+               "released record %zu still pins payload or deliveries", i);
+    } else {
+      PW_CHECK(static_cast<bool>(rec.ppdu),
+               "live record %zu has no payload", i);
+      PW_CHECK(rec.next <= rec.deliveries.size(),
+               "record %zu delivery cursor out of range", i);
     }
   }
 }

@@ -32,6 +32,7 @@
 #include "common/byte_buffer.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "frames/ppdu.h"
 #include "phy/csi.h"
 #include "phy/error_model.h"
 #include "phy/propagation.h"
@@ -62,14 +63,30 @@ struct MediumConfig {
   /// for the index/brute-force equivalence property test and as an escape
   /// hatch. Both paths produce identical receptions in identical order.
   bool use_spatial_index = true;
+  /// Recycle PPDU buffers through the medium's free-list pool. Off = a
+  /// fresh heap buffer per frame (the legacy allocation profile); the
+  /// simulated bytes and event order are identical either way.
+  bool pool_ppdus = true;
+  /// Deliver each transmission's receptions from pooled batch records
+  /// (one scheduled event per distinct arrival time) instead of one
+  /// scheduled event per receiver. Off = the legacy per-receiver
+  /// scheduling; both paths finalize the same receptions in the same
+  /// order (PipelineEquivalence property-tests this).
+  bool batched_fanout = true;
+  /// Let radios render outgoing frames through their frame-template
+  /// cache (serialize once, patch seq/retry in place). Off = a full
+  /// serialization per frame; the on-air octets are identical.
+  bool frame_templates = true;
 };
 
-/// Record of one on-air PPDU (what a perfect sniffer would log).
+/// Record of one on-air PPDU (what a perfect sniffer would log). The
+/// payload is a shared reference into the medium's PPDU pool: sinks that
+/// keep octets past the callback must copy them out (TraceRecorder does).
 struct TransmissionEvent {
   TimePoint start{};
   TimePoint end{};
   const Radio* sender = nullptr;
-  Bytes ppdu;
+  frames::PpduRef ppdu;
   phy::TxVector tx;
 };
 
@@ -115,8 +132,16 @@ class Medium {
   void detach(Radio* radio);
 
   /// Starts a transmission from `sender`. Every eligible radio receives
-  /// the PPDU (or a collision-corrupted copy) when it ends.
-  void transmit(Radio& sender, Bytes ppdu, const phy::TxVector& tx);
+  /// the PPDU (or a collision-corrupted copy) when it ends. The medium
+  /// takes shared ownership of the octets; they are never copied per
+  /// receiver.
+  void transmit(Radio& sender, frames::PpduRef ppdu, const phy::TxVector& tx);
+
+  /// Convenience overload copying `ppdu` into a pooled buffer — for tests
+  /// and benches that hand-roll octets. Hot paths build a PpduRef
+  /// directly (Radio::transmit's template cache does).
+  void transmit(Radio& sender, std::span<const std::uint8_t> ppdu,
+                const phy::TxVector& tx);
 
   /// Carrier sense at `radio`: any reception above CS threshold underway?
   bool busy_for(const Radio& radio) const;
@@ -126,6 +151,12 @@ class Medium {
 
   const MediumConfig& config() const { return config_; }
   Scheduler& scheduler() { return scheduler_; }
+
+  /// The medium's PPDU buffer pool. Radios draw their outgoing payload
+  /// buffers here so every buffer in one simulation recycles through a
+  /// single free list.
+  frames::PpduPool& ppdu_pool() { return ppdu_pool_; }
+  const frames::PpduPool& ppdu_pool() const { return ppdu_pool_; }
 
   /// Deterministic per-link shadowing in dB (exposed for tests).
   double link_shadowing_db(const Radio& a, const Radio& b) const;
@@ -155,6 +186,12 @@ class Medium {
     std::uint64_t link_cache_misses = 0;
     std::uint64_t fer_cache_hits = 0;
     std::uint64_t fer_cache_misses = 0;
+    /// Payload octets copied after transmit() took ownership — only the
+    /// copy-on-corrupt path ever adds to this; intact receivers share.
+    std::uint64_t ppdu_bytes_copied = 0;
+    /// Delivery events actually scheduled (batched fan-out folds every
+    /// same-arrival-time reception of a transmission into one).
+    std::uint64_t delivery_events = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -194,16 +231,50 @@ class Medium {
   };
   using CellMap = std::unordered_map<std::uint64_t, std::vector<Radio*>>;
 
+  /// One pending receiver of an in-flight transmission (batched fan-out).
+  struct PendingDelivery {
+    Radio* radio;
+    std::uint64_t reception_id;
+    TimePoint rx_start, rx_end;
+    double power_dbm;
+    bool awake_at_start;  // receiver was awake when the preamble arrived
+  };
+  /// One in-flight transmission's shared payload plus its delivery list,
+  /// recycled through a free list so steady-state fan-out never touches
+  /// the allocator. Held by unique_ptr so records stay address-stable
+  /// while `records_` grows re-entrantly.
+  struct TransmissionRecord {
+    frames::PpduRef ppdu;
+    phy::TxVector tx;
+    const Radio* sender = nullptr;
+    std::vector<PendingDelivery> deliveries;
+    std::size_t next = 0;  // cursor into deliveries (sorted by rx_end)
+    bool live = false;
+  };
+  static constexpr std::size_t kNoRecord = std::size_t(-1);
+
+  std::size_t acquire_record();
+  void release_record(std::size_t rec_idx);
+  /// Sorts the record's deliveries by arrival time (stable: fan-out order
+  /// breaks ties, matching the legacy per-receiver schedule order) and
+  /// schedules one event per distinct rx_end.
+  void schedule_batch(std::size_t rec_idx);
+  /// Finalizes every pending delivery of `rec_idx` arriving now.
+  void run_batch(std::size_t rec_idx);
+
   void finalize_reception(Radio* receiver, std::uint64_t reception_id,
-                          std::shared_ptr<const Bytes> ppdu,
+                          const frames::PpduRef& ppdu,
                           const phy::TxVector& tx, TimePoint start,
-                          TimePoint end, double power_dbm,
+                          TimePoint end, double power_dbm, bool awake_at_start,
                           const Radio* sender);
   void prune(std::vector<Reception>& list) const;
   /// Starts a reception at `rx_radio`. `rx_dbm` is the received power the
   /// caller already computed and checked against detect_threshold_dbm.
+  /// With batched fan-out, the delivery is queued on `rec_idx`; legacy
+  /// mode (rec_idx == kNoRecord) schedules a per-receiver event holding
+  /// its own reference to `ppdu`.
   void begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
-                       const std::shared_ptr<const Bytes>& ppdu,
+                       std::size_t rec_idx, const frames::PpduRef& ppdu,
                        const phy::TxVector& tx, TimePoint start,
                        TimePoint end);
 
@@ -294,6 +365,12 @@ class Medium {
   mutable RangeMemo range_memo_[8];
   mutable unsigned range_memo_next_ = 0;
   mutable std::vector<Radio*> scratch_;  // fan-out candidate buffer (reused)
+
+  /// Declared before records_ so records release their payload references
+  /// back into a still-live pool during destruction.
+  frames::PpduPool ppdu_pool_;
+  std::vector<std::unique_ptr<TransmissionRecord>> records_;
+  std::vector<std::size_t> free_records_;
 
   // Per-pair cached static paths for the default CSI fallback.
   mutable std::unordered_map<std::uint64_t, phy::PathSet> static_paths_;

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "frames/frame_template.h"
 #include "frames/serializer.h"
 #include "mac/environment.h"
 #include "mac/station.h"
@@ -89,6 +90,12 @@ class Radio final : public mac::MacEnvironment {
   /// how many run concurrently in one process.
   std::uint64_t id() const { return id_; }
 
+  /// This radio's outgoing frame-template cache (introspection: the
+  /// pipeline bench and tests read its hit/patch counters).
+  const frames::FrameTemplateCache& tx_template_cache() const {
+    return tx_templates_;
+  }
+
  private:
   friend class Medium;
   friend struct MediumTestPeer;  // corruption-injection tests
@@ -99,6 +106,9 @@ class Radio final : public mac::MacEnvironment {
   Position position_;
   mac::Station* station_ = nullptr;
   EnergyMeter energy_;
+  /// Serialize-once/patch-seq cache for this radio's outgoing frames
+  /// (used when MediumConfig.frame_templates is on).
+  frames::FrameTemplateCache tx_templates_;
   bool sleeping_ = false;
   TimePoint tx_since_{}, tx_until_{};
   std::uint64_t rx_nesting_ = 0;  // concurrent receptions (for energy state)

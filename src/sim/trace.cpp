@@ -25,7 +25,9 @@ bool TraceRecorder::passes_filter(const frames::Frame& f) const {
 void TraceRecorder::record(const TransmissionEvent& event) {
   TraceEntry entry;
   entry.time = event.start;
-  entry.raw = event.ppdu;
+  // The event's payload is a pooled buffer that will be recycled after
+  // delivery; a sink that outlives the callback must copy the octets.
+  entry.raw.assign(event.ppdu.octets().begin(), event.ppdu.octets().end());
   entry.tx = event.tx;
   if (resolver_ && event.sender != nullptr) {
     entry.sender_name = resolver_(*event.sender);

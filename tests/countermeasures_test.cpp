@@ -128,7 +128,7 @@ TEST(HiddenTerminal, RtsCtsRescuesThroughput) {
 
     std::size_t data_on_air = 0;
     sim.medium().set_trace_sink([&](const sim::TransmissionEvent& ev) {
-      const auto r = frames::deserialize(ev.ppdu);
+      const auto r = frames::deserialize(ev.ppdu.bytes());
       if (r.frame && r.frame->fc.is_data()) ++data_on_air;
     });
 

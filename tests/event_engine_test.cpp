@@ -13,6 +13,7 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/sweep_runner.h"
+#include "sim/trace.h"
 
 using namespace politewifi;
 
@@ -213,12 +214,9 @@ struct Fingerprint {
 
 /// A randomized scenario exercising every fan-out edge case: mixed
 /// channels, sleeping radios, a moving + channel-hopping attacker, and
-/// shadowing left ON (the index must honour the shadowing bound).
-Fingerprint run_scenario(std::uint64_t scenario_seed, bool use_spatial_index) {
-  sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
-  mc.use_spatial_index = use_spatial_index;
-  sim::Simulation sim({.medium = mc, .seed = 7000 + scenario_seed});
-
+/// shadowing left ON (the index must honour the shadowing bound). Shared
+/// by the spatial-index and zero-copy-pipeline equivalence suites.
+void drive_scenario(sim::Simulation& sim, std::uint64_t scenario_seed) {
   Rng layout(1000 + scenario_seed);
   const int channels[] = {1, 6, 11};
 
@@ -257,6 +255,13 @@ Fingerprint run_scenario(std::uint64_t scenario_seed, bool use_spatial_index) {
     sim.run_for(milliseconds(5));
   }
   sim.run_for(milliseconds(50));
+}
+
+Fingerprint run_scenario(std::uint64_t scenario_seed, bool use_spatial_index) {
+  sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
+  mc.use_spatial_index = use_spatial_index;
+  sim::Simulation sim({.medium = mc, .seed = 7000 + scenario_seed});
+  drive_scenario(sim, scenario_seed);
 
   Fingerprint fp;
   for (const auto& dev : sim.devices()) {
@@ -292,3 +297,90 @@ TEST_P(GridEquivalence, IndexedFanOutIsByteIdenticalToBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, GridEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Zero-copy pipeline vs legacy equivalence ---------------------------------
+
+namespace {
+
+/// Like Fingerprint, plus the full sniffer trace stream (time, sender,
+/// raw on-air bytes) — the zero-copy pipeline must not change one bit of
+/// what goes over the air, in what order, or what any station concludes
+/// from it. events_executed is deliberately absent: batched fan-out
+/// merges per-receiver delivery events into per-arrival-time events, so
+/// the event COUNT legitimately differs while everything observable is
+/// identical.
+struct PipelineFingerprint {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::uint64_t, std::uint64_t, std::uint64_t>>
+      station;
+  std::vector<double> energy_mj;
+  std::uint64_t receptions = 0;
+  std::vector<std::tuple<TimePoint, std::string, Bytes>> trace;
+
+  bool operator==(const PipelineFingerprint&) const = default;
+};
+
+PipelineFingerprint run_pipeline_scenario(std::uint64_t scenario_seed,
+                                          bool pool, bool batched,
+                                          bool templates) {
+  sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
+  mc.pool_ppdus = pool;
+  mc.batched_fanout = batched;
+  mc.frame_templates = templates;
+  sim::Simulation sim({.medium = mc, .seed = 7000 + scenario_seed});
+  sim::TraceRecorder recorder;
+  recorder.attach(sim.medium());
+  drive_scenario(sim, scenario_seed);
+
+  PipelineFingerprint fp;
+  for (const auto& dev : sim.devices()) {
+    const auto& s = dev->station().stats();
+    fp.station.emplace_back(s.frames_received, s.frames_for_us, s.acks_sent,
+                            s.fcs_failures, s.duplicates_dropped,
+                            s.frames_transmitted);
+    fp.energy_mj.push_back(dev->radio().energy().consumed_mj(sim.now()));
+  }
+  fp.receptions = sim.medium().stats().receptions;
+  for (const auto& e : recorder.entries()) {
+    fp.trace.emplace_back(e.time, e.sender_name, e.raw);
+  }
+  return fp;
+}
+
+}  // namespace
+
+class PipelineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineEquivalence, ZeroCopyPipelineIsObservablyIdenticalToLegacy) {
+  const PipelineFingerprint zero_copy =
+      run_pipeline_scenario(GetParam(), true, true, true);
+  const PipelineFingerprint legacy =
+      run_pipeline_scenario(GetParam(), false, false, false);
+  EXPECT_EQ(zero_copy.receptions, legacy.receptions);
+  ASSERT_EQ(zero_copy.station.size(), legacy.station.size());
+  for (std::size_t i = 0; i < zero_copy.station.size(); ++i) {
+    EXPECT_EQ(zero_copy.station[i], legacy.station[i]) << "device " << i;
+    // Exact double equality: both modes must run the same arithmetic in
+    // the same order.
+    EXPECT_EQ(zero_copy.energy_mj[i], legacy.energy_mj[i]) << "device " << i;
+  }
+  ASSERT_EQ(zero_copy.trace.size(), legacy.trace.size());
+  for (std::size_t i = 0; i < zero_copy.trace.size(); ++i) {
+    EXPECT_EQ(zero_copy.trace[i], legacy.trace[i]) << "trace entry " << i;
+  }
+  EXPECT_EQ(zero_copy, legacy);
+}
+
+TEST_P(PipelineEquivalence, EachOptimizationAloneIsObservablyIdentical) {
+  const PipelineFingerprint legacy =
+      run_pipeline_scenario(GetParam(), false, false, false);
+  EXPECT_EQ(run_pipeline_scenario(GetParam(), true, false, false), legacy)
+      << "pool_ppdus alone changed observable behaviour";
+  EXPECT_EQ(run_pipeline_scenario(GetParam(), false, true, false), legacy)
+      << "batched_fanout alone changed observable behaviour";
+  EXPECT_EQ(run_pipeline_scenario(GetParam(), false, false, true), legacy)
+      << "frame_templates alone changed observable behaviour";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, PipelineEquivalence,
+                         ::testing::Values(1, 2, 3));

@@ -5,7 +5,9 @@
 
 #include "frames/data.h"
 #include "frames/frame_builder.h"
+#include "frames/frame_template.h"
 #include "frames/management.h"
+#include "frames/ppdu.h"
 #include "frames/serializer.h"
 
 namespace politewifi::frames {
@@ -328,6 +330,63 @@ TEST(FrameBuilder, BuildsArbitraryFrames) {
 TEST(FrameSummary, MatchesFigureVocabulary) {
   const Frame f = make_null_function(kA, MacAddress::paper_fake_address(), 12);
   EXPECT_EQ(f.summary(), "Null function (No data), SN=12, Flags=T");
+}
+
+// --- FrameTemplateCache -------------------------------------------------------
+
+TEST(FrameTemplateCache, PatchedRendersAreByteIdenticalToSerialize) {
+  // The whole contract: render() == serialize() for every frame, no
+  // matter whether it was a miss, an in-place seq/retry patch, or a
+  // copied patch. Walk sequence numbers and flip retry to force the
+  // incremental-FCS path through both transitions.
+  FrameTemplateCache cache;
+  PpduPool pool;
+  Frame f = make_null_function(kA, MacAddress::paper_fake_address(), 0);
+  for (int i = 0; i < 300; ++i) {
+    f.seq.sequence = (i * 37) & 0x0FFF;
+    f.fc.retry = (i % 5) == 0;
+    const PpduRef rendered = cache.render(f, pool);
+    ASSERT_EQ(rendered.octets(), serialize(f)) << "iteration " << i;
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().in_place_patches, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FrameTemplateCache, SharedBuffersAreNeverMutated) {
+  // A receiver still holding the previous PPDU must not see its bytes
+  // change when the next frame is rendered: the patch has to land in a
+  // fresh buffer.
+  FrameTemplateCache cache;
+  PpduPool pool;
+  Frame f = make_null_function(kA, MacAddress::paper_fake_address(), 1);
+  const PpduRef held = cache.render(f, pool);
+  const Bytes snapshot = held.octets();
+
+  f.seq.sequence = 2;
+  const PpduRef next = cache.render(f, pool);
+  EXPECT_EQ(held.octets(), snapshot);
+  EXPECT_EQ(next.octets(), serialize(f));
+  EXPECT_NE(&held.octets(), &next.octets());
+  EXPECT_GT(cache.stats().copied_patches, 0u);
+  EXPECT_GT(cache.stats().bytes_copied, 0u);
+}
+
+TEST(FrameTemplateCache, DistinctFrameShapesRenderCorrectlyAcrossSlots) {
+  // More distinct shapes than the direct-mapped cache has entries:
+  // collisions force re-renders, and every render must still match
+  // serialize().
+  FrameTemplateCache cache;
+  PpduPool pool;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint8_t i = 0; i < 12; ++i) {
+      const MacAddress ra{0x00, 0x11, 0x22, 0x33, 0x44, i};
+      Frame rts = make_rts(ra, kB, 60);
+      EXPECT_EQ(cache.render(rts, pool).octets(), serialize(rts));
+      Frame null = make_null_function(ra, kB, std::uint16_t(round * 12 + i));
+      EXPECT_EQ(cache.render(null, pool).octets(), serialize(null));
+    }
+  }
 }
 
 }  // namespace

@@ -295,6 +295,81 @@ TEST(StationRx, SameSequenceWithoutRetryBitIsNotDuplicate) {
   EXPECT_EQ(delivered, 2u);
 }
 
+TEST(StationRx, DedupCacheIsCappedAtConfiguredSize) {
+  // Regression: the dedup cache used to be an unbounded per-sender map, so
+  // a wardriving attacker spraying spoofed transmitter addresses grew it
+  // without limit. Now it is a fixed-capacity LRU.
+  MacConfig cfg;
+  cfg.dedup_cache_size = 8;
+  Harness h(cfg);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    const MacAddress sender{0x02, 0x00, 0x00, 0x00, 0x01, i};
+    h.deliver(frames::make_data_to_ds(kSelf, sender, kSelf, Bytes{1}, i));
+  }
+  h.env.advance(milliseconds(1));
+  EXPECT_EQ(h.station->dedup_cache_entries(), 8u);
+  EXPECT_EQ(h.station->stats().frames_received, 100u);
+  EXPECT_EQ(h.station->stats().duplicates_dropped, 0u);
+}
+
+TEST(StationRx, EvictionDropsOldestSenderFirst) {
+  MacConfig cfg;
+  cfg.dedup_cache_size = 2;
+  Harness h(cfg);
+  std::size_t delivered = 0;
+  h.station->set_upper_handler(
+      [&delivered](const Frame&, const phy::RxVector&) { ++delivered; });
+
+  const MacAddress a{0x02, 0, 0, 0, 0, 0x0a};
+  const MacAddress b{0x02, 0, 0, 0, 0, 0x0b};
+  const MacAddress c{0x02, 0, 0, 0, 0, 0x0c};
+  h.deliver(frames::make_data_to_ds(kSelf, a, kSelf, Bytes{1}, 10));
+  h.deliver(frames::make_data_to_ds(kSelf, b, kSelf, Bytes{1}, 20));
+  // c evicts a (the least recently seen sender), not b.
+  h.deliver(frames::make_data_to_ds(kSelf, c, kSelf, Bytes{1}, 30));
+  h.env.advance(milliseconds(1));
+  EXPECT_EQ(h.station->dedup_cache_entries(), 2u);
+
+  // b is still tracked: its retry is recognised as a duplicate.
+  Frame b_retry = frames::make_data_to_ds(kSelf, b, kSelf, Bytes{1}, 20);
+  b_retry.fc.retry = true;
+  h.deliver(b_retry);
+  h.env.advance(milliseconds(1));
+  EXPECT_EQ(h.station->stats().duplicates_dropped, 1u);
+  // a was evicted: its retry re-delivers (the standard allows this — a
+  // receiver only has to de-duplicate within its cache horizon).
+  Frame a_retry = frames::make_data_to_ds(kSelf, a, kSelf, Bytes{1}, 10);
+  a_retry.fc.retry = true;
+  h.deliver(a_retry);
+  h.env.advance(milliseconds(1));
+  EXPECT_EQ(h.station->stats().duplicates_dropped, 1u);
+  EXPECT_EQ(delivered, 4u);
+}
+
+TEST(StationRx, DuplicateDetectionStillWorksAtTheCap) {
+  MacConfig cfg;
+  cfg.dedup_cache_size = 4;
+  Harness h(cfg);
+  std::size_t delivered = 0;
+  h.station->set_upper_handler(
+      [&delivered](const Frame&, const phy::RxVector&) { ++delivered; });
+  // Fill the cache, then retry every tracked sender: all four retries
+  // must be dropped even though the cache is at capacity.
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    const MacAddress sender{0x02, 0, 0, 0, 2, i};
+    h.deliver(frames::make_data_to_ds(kSelf, sender, kSelf, Bytes{1}, i));
+  }
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    const MacAddress sender{0x02, 0, 0, 0, 2, i};
+    Frame retry = frames::make_data_to_ds(kSelf, sender, kSelf, Bytes{1}, i);
+    retry.fc.retry = true;
+    h.deliver(retry);
+  }
+  h.env.advance(milliseconds(1));
+  EXPECT_EQ(h.station->stats().duplicates_dropped, 4u);
+  EXPECT_EQ(delivered, 4u);
+}
+
 TEST(StationRx, RtsElicitsCtsAtSifs) {
   Harness h;
   const TimePoint rx_end = h.env.now();

@@ -209,7 +209,7 @@ TEST(RtsCtsInitiator, ThirdPartyDefersForTheWholeExchange) {
   bool sent = false;
   TimePoint sent_at{};
   sim.medium().set_trace_sink([&](const sim::TransmissionEvent& ev) {
-    const auto r = frames::deserialize(ev.ppdu);
+    const auto r = frames::deserialize(ev.ppdu.bytes());
     if (r.frame && r.frame->fc.is_null_function() && !sent) {
       sent = true;
       sent_at = ev.start;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sensing/activity.h"
 #include "sensing/dtw.h"
@@ -307,6 +308,61 @@ TEST(Dtw, ClassifyPicksNearestTemplate) {
   EXPECT_EQ(dtw_classify({0.1, 0.9, 0.1}, templates), 0);
   EXPECT_EQ(dtw_classify({1.9, 2.1, 2.0}, templates), 2);
   EXPECT_EQ(dtw_classify({1, 2, 3}, {}), -1);
+}
+
+TEST(Dtw, EarlyAbandonMatchesNaiveBelowThreshold) {
+  // Exactness contract: any distance <= abandon_above must equal the
+  // unabandoned computation bit-for-bit, across bands and random series.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a, b;
+    const int na = 8 + rng.uniform_int(0, 40);
+    const int nb = 8 + rng.uniform_int(0, 40);
+    for (int i = 0; i < na; ++i) a.push_back(rng.gaussian());
+    for (int i = 0; i < nb; ++i) b.push_back(rng.gaussian());
+    const int band = trial % 3 == 0 ? 0 : 5 + trial % 7;
+    const double naive = dtw_distance(a, b, band);
+    // A threshold above the true distance must not change the result.
+    EXPECT_EQ(dtw_distance(a, b, band, naive + 1.0), naive) << trial;
+    EXPECT_EQ(dtw_distance(a, b, band, naive), naive) << trial;
+    // A threshold below it abandons: the sentinel is +inf, never a wrong
+    // finite value.
+    const double abandoned = dtw_distance(a, b, band, naive * 0.5);
+    EXPECT_TRUE(abandoned == naive ||
+                abandoned == std::numeric_limits<double>::infinity())
+        << trial;
+  }
+}
+
+TEST(Dtw, ClassifyUnchangedByPruning) {
+  // dtw_classify threads its best-so-far into dtw_distance; the argmin
+  // must match a naive full-scan classification.
+  Rng rng(7);
+  std::vector<std::vector<double>> templates;
+  for (int t = 0; t < 12; ++t) {
+    std::vector<double> s;
+    for (int i = 0; i < 32; ++i) {
+      s.push_back(std::sin(0.2 * i * (t + 1)) + 0.1 * rng.gaussian());
+    }
+    templates.push_back(std::move(s));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q;
+    const int shape = trial % 12;
+    for (int i = 0; i < 32; ++i) {
+      q.push_back(std::sin(0.2 * i * (shape + 1)) + 0.2 * rng.gaussian());
+    }
+    int naive_best = -1;
+    double naive_d = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < templates.size(); ++t) {
+      const double d = dtw_distance(q, templates[t], 8);
+      if (d < naive_d) {
+        naive_d = d;
+        naive_best = int(t);
+      }
+    }
+    EXPECT_EQ(dtw_classify(q, templates, 8), naive_best) << trial;
+  }
 }
 
 TEST(Dtw, ZNormalize) {

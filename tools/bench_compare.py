@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""bench_compare: diff fresh BENCH_*.json runs against committed baselines.
+
+Each bench binary writes a machine-readable BENCH_<name>.json (see
+bench/bench_util.h); the copies at the repo root are the committed
+baselines. CI reruns the benches into a scratch directory (PW_BENCH_DIR)
+and this script compares the two sets, failing when a throughput metric
+regressed by more than the threshold (default 15%).
+
+Rules:
+  - Higher-is-better metrics (events_per_sec, sim_wall_ratio, *_per_sec):
+    fail when fresh < baseline * (1 - threshold).
+  - Counter metrics ending in _allocations: fail when the fresh count
+    exceeds the baseline by more than the threshold (allocation creep is
+    a regression even though it is not a rate).
+  - Other metrics (wall_time_s, events_executed, scale notes...) are
+    informational: they vary with PW_SCALE and machine speed, so they are
+    printed but never gate.
+  - A bench present in the baseline but missing from the fresh run fails
+    (a silently-skipped bench is how regressions hide); a new bench with
+    no baseline is reported and passes.
+
+Usage:
+  python3 tools/bench_compare.py BASELINE_DIR FRESH_DIR [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_SUFFIXES = ("_per_sec",)
+GATED_EXACT = {"events_per_sec", "sim_wall_ratio", "frames_per_sec"}
+COUNTER_SUFFIXES = ("_allocations",)
+
+
+def load_dir(path: Path) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for f in sorted(path.glob("BENCH_*.json")):
+        try:
+            data = json.loads(f.read_text())
+        except json.JSONDecodeError as e:
+            sys.exit(f"{f}: unparseable bench json: {e}")
+        name = data.get("bench", f.stem.removeprefix("BENCH_"))
+        out[name] = data
+    return out
+
+
+def is_gated(key: str) -> bool:
+    return key in GATED_EXACT or key.endswith(GATED_SUFFIXES)
+
+
+def is_counter(key: str) -> bool:
+    return key.endswith(COUNTER_SUFFIXES)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline_dir", type=Path)
+    ap.add_argument("fresh_dir", type=Path)
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    args = ap.parse_args()
+
+    baseline = load_dir(args.baseline_dir)
+    fresh = load_dir(args.fresh_dir)
+    if not baseline:
+        sys.exit(f"no BENCH_*.json baselines under {args.baseline_dir}")
+
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        cur = fresh.get(name)
+        if cur is None:
+            failures.append(f"{name}: no fresh run (bench skipped or broken)")
+            continue
+        for key, base_v in base.items():
+            if not isinstance(base_v, (int, float)):
+                continue
+            cur_v = cur.get(key)
+            if not isinstance(cur_v, (int, float)):
+                continue
+            if is_gated(key) and base_v > 0:
+                change = (cur_v - base_v) / base_v
+                status = "OK"
+                if change < -args.threshold:
+                    status = "FAIL"
+                    failures.append(
+                        f"{name}.{key}: {base_v:.1f} -> {cur_v:.1f} "
+                        f"({change:+.1%}, limit -{args.threshold:.0%})")
+                print(f"  {status:4s} {name}.{key}: {base_v:.1f} -> "
+                      f"{cur_v:.1f} ({change:+.1%})")
+            elif is_counter(key):
+                limit = base_v * (1 + args.threshold)
+                status = "OK"
+                if cur_v > limit and cur_v - base_v > 1:
+                    status = "FAIL"
+                    failures.append(
+                        f"{name}.{key}: {base_v:.0f} -> {cur_v:.0f} "
+                        f"(> {limit:.0f})")
+                print(f"  {status:4s} {name}.{key}: {base_v:.0f} -> "
+                      f"{cur_v:.0f}")
+            else:
+                print(f"  info {name}.{key}: {base_v:g} -> {cur_v:g}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  new  {name}: no baseline yet (commit its BENCH json)")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: {len(baseline)} bench(es) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

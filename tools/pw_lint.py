@@ -28,6 +28,14 @@ CI rather than by review vigilance:
   banned-include        <ctime> (wall clock), <iostream> (iostream's
                         static init order + interleaved buffering;
                         library code logs via common/logging.h).
+  by-value-bytes        a by-value `Bytes` / `std::vector<std::uint8_t>`
+                        parameter in src/sim or src/frames: the payload
+                        pipeline is zero-copy (shared PpduRef buffers);
+                        a by-value octet parameter reintroduces a hidden
+                        copy per call. Pass std::span<const std::uint8_t>
+                        to read, Bytes&& to adopt, or a PpduRef to share.
+                        Intentional owning sinks (builder-style setters
+                        that move) use the inline escape hatch.
 
 Violations can be acknowledged in tools/pw_lint_allowlist.txt as
 `path:rule  # justification` (the justification is mandatory), or
@@ -51,6 +59,10 @@ ALLOWLIST_PATH = REPO / "tools" / "pw_lint_allowlist.txt"
 # Directories whose event-rate makes per-event heap traffic a perf bug.
 HOT_PATH_DIRS = ("src/sim", "src/mac", "src/phy")
 
+# Directories on the zero-copy payload pipeline, where a by-value octet
+# parameter means a hidden per-call copy.
+BY_VALUE_DIRS = ("src/sim", "src/frames")
+
 WALL_CLOCK_RE = re.compile(
     r"\b(?:time|clock|gettimeofday|clock_gettime|getrandom)\s*\("
     r"|std::chrono::(?:system_clock|high_resolution_clock)"
@@ -71,6 +83,14 @@ UNORDERED_ALIAS_RE = re.compile(
     r"using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\b"
 )
 INLINE_ALLOW_RE = re.compile(r"//\s*pw-lint:\s*allow\((\s*[\w-]+\s*)\)")
+# A by-value octet-buffer parameter: `Bytes name` (no &/&&) directly after
+# an opening paren or comma, or starting a continuation line of a wrapped
+# signature. Matches parameters, not declarations (`Bytes x;`) or
+# rvalue-reference adopters (`Bytes&& x`).
+BY_VALUE_BYTES_RE = re.compile(
+    r"(?:[(,]|^)\s*(?:politewifi::)?(?:frames::)?(?:common::)?"
+    r"(?:Bytes|std::vector<std::uint8_t>)\s+\w+\s*[,)]"
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -183,6 +203,7 @@ class Linter:
         in_rng = rel.startswith("src/common/rng")
         in_clock = rel == "src/common/clock.h"
         hot = rel.startswith(HOT_PATH_DIRS)
+        zero_copy = rel.startswith(BY_VALUE_DIRS)
 
         # Track "inside a derived class" with a brace-depth heuristic good
         # enough for this codebase's one-class-per-header style.
@@ -213,6 +234,11 @@ class Linter:
                 self.report(path, lineno, "raw-new",
                             "raw new/delete in a sim hot path; pool it or "
                             "hold it by value", raw)
+            if zero_copy and BY_VALUE_BYTES_RE.search(line):
+                self.report(path, lineno, "by-value-bytes",
+                            "by-value octet buffer on the payload pipeline; "
+                            "pass std::span<const std::uint8_t>, Bytes&&, "
+                            "or a PpduRef", raw)
             if (m := RANGE_FOR_RE.search(line)):
                 target = m.group(1).strip()
                 base = re.sub(r"^[\w.]*?(\w+)$", r"\1", target.split("->")[0]
