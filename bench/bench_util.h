@@ -6,25 +6,24 @@
 //
 // Every bench also reports engine throughput (events/sec, simulated-time
 // over wall-time) and emits a machine-readable BENCH_<name>.json via
-// PerfReport, so the perf trajectory is tracked PR over PR. The JSONs
-// land at the repo root (PW_BENCH_DEFAULT_DIR, baked in by CMake) where
-// they are committed; tools/bench_compare.py diffs a fresh run against
-// the committed baselines and the bench-regression CI job gates on it.
-// Set PW_BENCH_DIR to redirect where the JSON lands (e.g. CI scratch).
+// PerfReport — which lives in src/runtime/perf_report.h since the
+// experiment runtime and the benches share one canonical JSON writer.
+// The JSONs land at the repo root (PW_BENCH_DEFAULT_DIR, baked in by
+// CMake) where they are committed; tools/bench_compare.py diffs a fresh
+// run against the committed baselines and the bench-regression CI job
+// gates on it. Set PW_BENCH_DIR to redirect where the JSON lands (e.g.
+// CI scratch).
 #pragma once
 
-#include <chrono>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <utility>
-#include <vector>
 
-#include "common/clock.h"
-#include "sim/event_queue.h"
+#include "runtime/perf_report.h"
 
 namespace politewifi::bench {
+
+using PerfReport = runtime::PerfReport;
 
 inline void header(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
@@ -62,105 +61,5 @@ inline void compare(const char* what, const std::string& paper,
   std::printf("  %-36s paper: %-18s measured: %s\n", what, paper.c_str(),
               measured.c_str());
 }
-
-/// Engine throughput accounting for one bench run.
-///
-/// Construct it first thing in main (starts the wall clock), feed it every
-/// scheduler the bench drives (or aggregate counts from sweep workers),
-/// then call finish() last: it prints an "engine" section and writes
-/// BENCH_<name>.json with wall time, events executed and events/sec.
-class PerfReport {
- public:
-  explicit PerfReport(std::string name)
-      : name_(std::move(name)), wall_start_(std::chrono::steady_clock::now()) {}
-
-  ~PerfReport() {
-    if (!finished_) finish();
-  }
-
-  PerfReport(const PerfReport&) = delete;
-  PerfReport& operator=(const PerfReport&) = delete;
-
-  /// Accumulates a finished scheduler's event count and simulated span.
-  void add_scheduler(const sim::Scheduler& scheduler) {
-    add_events(scheduler.events_executed(),
-               scheduler.now() - kSimStart);
-  }
-
-  /// Aggregation hook for sweep workers: each independent simulation
-  /// reports its own totals.
-  void add_events(std::uint64_t events, Duration simulated) {
-    events_ += events;
-    sim_seconds_ += to_seconds(simulated);
-  }
-
-  /// Extra numeric facts worth tracking (scale, thread count, ...).
-  void note(const std::string& key, double value) {
-    extras_.emplace_back(key, value);
-  }
-
-  double wall_seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         wall_start_)
-        .count();
-  }
-
-  std::uint64_t events() const { return events_; }
-
-  /// Prints the engine section and writes BENCH_<name>.json. Idempotent.
-  void finish() {
-    if (finished_) return;
-    finished_ = true;
-    const double wall_s = wall_seconds();
-    const double eps = wall_s > 0.0 ? double(events_) / wall_s : 0.0;
-    const double ratio = wall_s > 0.0 ? sim_seconds_ / wall_s : 0.0;
-
-    section("engine");
-    kvf("wall time (s)", "%.3f", wall_s);
-    kvf("events executed", "%.0f", double(events_));
-    kvf("events/sec", "%.0f", eps);
-    kvf("simulated seconds", "%.2f", sim_seconds_);
-    kvf("sim-time / wall-time", "%.2f", ratio);
-
-    const char* dir = std::getenv("PW_BENCH_DIR");
-#ifdef PW_BENCH_DEFAULT_DIR
-    const std::string base(dir != nullptr ? dir : PW_BENCH_DEFAULT_DIR);
-#else
-    const std::string base(dir != nullptr ? dir : "");
-#endif
-    const std::string path =
-        (base.empty() ? std::string() : base + "/") + "BENCH_" + name_ +
-        ".json";
-    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fprintf(f,
-                   "{\n"
-                   "  \"bench\": \"%s\",\n"
-                   "  \"wall_time_s\": %.6f,\n"
-                   "  \"events_executed\": %llu,\n"
-                   "  \"events_per_sec\": %.1f,\n"
-                   "  \"sim_time_s\": %.6f,\n"
-                   "  \"sim_wall_ratio\": %.3f",
-                   name_.c_str(), wall_s,
-                   static_cast<unsigned long long>(events_), eps, sim_seconds_,
-                   ratio);
-      for (const auto& [key, value] : extras_) {
-        std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
-      }
-      std::fprintf(f, "\n}\n");
-      std::fclose(f);
-      kv("perf json", path);
-    } else {
-      kv("perf json", "UNWRITABLE: " + path);
-    }
-  }
-
- private:
-  std::string name_;
-  std::chrono::steady_clock::time_point wall_start_;
-  std::uint64_t events_ = 0;
-  double sim_seconds_ = 0.0;
-  std::vector<std::pair<std::string, double>> extras_;
-  bool finished_ = false;
-};
 
 }  // namespace politewifi::bench

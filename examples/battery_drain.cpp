@@ -1,71 +1,11 @@
 // Battery-drain attack (§4.2) on a power-saving IoT device.
 //
-// An ESP8266-class sensor node spends its life in 802.11 power save at
-// ~10 mW. The attacker bombards it with fake frames: every frame resets
-// the victim's idle timer (it can't know the frame is fake until long
-// after the ACK), so the radio never sleeps — and every ACK burns
-// transmit energy on top. This example sweeps the attack rate and
-// projects battery life for two commercial cameras.
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run battery_drain` (see pw_run --list).
 //
 //   $ ./examples/battery_drain
-#include <cstdio>
+#include "runtime/runner.h"
 
-#include "core/battery_attack.h"
-#include "scenario/device_profiles.h"
-#include "sim/network.h"
-
-using namespace politewifi;
-
-int main() {
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 62});
-
-  mac::ApConfig apc;
-  apc.fast_keys = true;
-  sim.add_ap("home-ap", *MacAddress::parse("f2:6e:0b:01:02:03"), {0, 0}, apc);
-
-  mac::ClientConfig cc;
-  cc.fast_keys = true;
-  cc.power_save = true;                    // the whole point
-  cc.idle_timeout = milliseconds(100);     // doze after 100 ms idle
-  cc.beacon_wake_window = milliseconds(1); // brief beacon listens
-  sim::Device& sensor = sim.add_client(
-      "esp8266-sensor", *MacAddress::parse("24:0a:c4:aa:bb:cc"), {4, 0}, cc);
-
-  sim::RadioConfig rig;
-  rig.position = {8, 2};
-  sim::Device& attacker = sim.add_device(
-      {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
-      *MacAddress::parse("02:de:ad:be:ef:03"), rig);
-
-  sim.establish(sensor, seconds(10));
-  std::printf("ESP8266-class sensor associated, power save on.\n\n");
-
-  core::BatteryDrainAttack attack(sim, attacker, sensor);
-
-  std::printf("%-12s %-12s %-12s %-10s\n", "rate (pps)", "power (mW)",
-              "sleep frac", "ACKs sent");
-  double unattacked = 0.0, attacked_900 = 0.0;
-  for (const double rate : {0.0, 10.0, 50.0, 150.0, 450.0, 900.0}) {
-    const auto r = attack.run(rate, seconds(2), seconds(15));
-    if (rate == 0.0) unattacked = r.avg_power_mw;
-    if (rate == 900.0) attacked_900 = r.avg_power_mw;
-    std::printf("%-12.0f %-12.1f %-12.2f %-10llu\n", rate, r.avg_power_mw,
-                r.sleep_fraction, (unsigned long long)r.acks_elicited);
-  }
-
-  std::printf("\nPower increase at 900 pps: %.0fx (paper: 35x)\n",
-              attacked_900 / unattacked);
-
-  std::printf("\nBattery-life projections at the attacked draw:\n");
-  for (const auto& cam :
-       {scenario::logitech_circle2(), scenario::blink_xt2()}) {
-    const auto proj =
-        core::project_drain(cam.name, cam.battery_mwh, attacked_900);
-    std::printf("  %-22s %.0f mWh, advertised \"%s\" -> drained in %.1f h\n",
-                cam.name.c_str(), cam.battery_mwh,
-                cam.advertised_life.c_str(), proj.hours_to_empty);
-  }
-  std::printf("\nA camera sold on months of battery dies before the next "
-              "morning.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("battery_drain", argc, argv, {});
 }

@@ -1,155 +1,11 @@
-// Defending against Polite WiFi abuse — what actually helps, and what
-// fundamentally cannot.
+// Defending against Polite WiFi abuse — what helps, and what cannot.
 //
-// Four rounds against the same home network:
-//   1. The classic deauth DoS, without and with 802.11w PMF.
-//   2. A guardian node detecting a CSI-sensing poll within a second.
-//   3. The battery-drain attack against a BatteryGuard-protected sensor.
-//   4. The punchline: through all of it, the fake frames were ACKed —
-//      the politeness itself is untouchable (§2.2).
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run defending` (see pw_run --list).
 //
 //   $ ./examples/defending
-#include <cstdio>
+#include "runtime/runner.h"
 
-#include "core/injector.h"
-#include "core/monitor.h"
-#include "defense/battery_guard.h"
-#include "defense/injection_detector.h"
-#include "sim/network.h"
-
-using namespace politewifi;
-
-int main() {
-  // --- Round 1: deauth DoS vs 802.11w ---------------------------------------
-  std::printf("Round 1: the classic deauth DoS vs 802.11w PMF\n");
-  for (const bool pmf : {false, true}) {
-    sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 201});
-    mac::ApConfig apc;
-    apc.fast_keys = true;
-    apc.pmf = pmf;
-    sim::Device& ap =
-        sim.add_ap("home-ap", *MacAddress::parse("f2:6e:0b:01:02:03"), {0, 0},
-                   apc);
-    (void)ap;
-    mac::ClientConfig cc;
-    cc.fast_keys = true;
-    cc.pmf = pmf;
-    sim::Device& victim = sim.add_client(
-        "laptop", *MacAddress::parse("3c:28:6d:aa:bb:cc"), {4, 0}, cc);
-    sim.establish(victim, seconds(10));
-
-    sim::RadioConfig rig;
-    rig.position = {8, 3};
-    sim::Device& attacker = sim.add_device(
-        {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
-        *MacAddress::parse("02:de:ad:be:ef:01"), rig);
-    core::FakeFrameInjector injector(attacker);
-    for (int i = 0; i < 3; ++i) {
-      injector.inject_spoofed_deauth(victim.address(),
-                                     *MacAddress::parse("f2:6e:0b:01:02:03"));
-      sim.run_for(milliseconds(20));
-    }
-    std::printf("  PMF %-3s -> victim %s (%llu spoofed deauths rejected)\n",
-                pmf ? "on" : "off",
-                victim.client()->established() ? "still connected"
-                                               : "DISCONNECTED",
-                (unsigned long long)
-                    victim.client()->stats().spoofed_deauths_rejected);
-  }
-
-  // --- Round 2: detecting a sensing poll --------------------------------------
-  std::printf("\nRound 2: a guardian node watches the air\n");
-  {
-    sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 202});
-    mac::ApConfig apc;
-    apc.fast_keys = true;
-    sim.add_ap("home-ap", *MacAddress::parse("f2:6e:0b:01:02:03"), {0, 0},
-               apc);
-    mac::ClientConfig cc;
-    cc.fast_keys = true;
-    sim::Device& victim = sim.add_client(
-        "tablet", *MacAddress::parse("3c:28:6d:aa:bb:cc"), {4, 0}, cc);
-    sim.establish(victim, seconds(10));
-
-    sim::RadioConfig rig;
-    rig.position = {9, 4};
-    sim::Device& attacker = sim.add_device(
-        {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
-        *MacAddress::parse("02:de:ad:be:ef:02"), rig);
-
-    sim::RadioConfig guard_rc;
-    guard_rc.position = {1, 1};
-    sim::Device& guardian = sim.add_device(
-        {.name = "guardian", .kind = sim::DeviceKind::kSniffer},
-        *MacAddress::parse("02:99:99:99:99:99"), guard_rc);
-
-    core::MonitorHub hub(guardian.station());
-    defense::InjectionDetector detector;
-    detector.mark_trusted(*MacAddress::parse("f2:6e:0b:01:02:03"));
-    detector.mark_trusted(victim.address());
-    TimePoint attack_start{};
-    hub.add_tap([&](const frames::Frame& f, const phy::RxVector&, bool ok) {
-      if (!ok) return;
-      for (const auto& alert : detector.observe(f, sim.now())) {
-        std::printf("  ALERT %-13s attacker=%s victim=%s rate=%.0f/s "
-                    "(%.2f s after attack start)\n",
-                    defense::threat_kind_name(alert.kind),
-                    alert.attacker.to_string().c_str(),
-                    alert.victim.to_string().c_str(), alert.rate_pps,
-                    to_seconds(alert.raised_at - attack_start));
-      }
-    });
-
-    core::FakeFrameInjector injector(attacker);
-    attack_start = sim.now();
-    injector.start_stream(victim.address(), 150.0);  // CSI harvesting rate
-    sim.run_for(seconds(3));
-    injector.stop_all();
-  }
-
-  // --- Round 3: battery guard under drain --------------------------------------
-  std::printf("\nRound 3: battery drain vs BatteryGuard (900 pps, 20 s)\n");
-  for (const bool guarded : {false, true}) {
-    sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 203});
-    mac::ApConfig apc;
-    apc.fast_keys = true;
-    sim.add_ap("home-ap", *MacAddress::parse("f2:6e:0b:01:02:03"), {0, 0},
-               apc);
-    mac::ClientConfig cc;
-    cc.fast_keys = true;
-    cc.power_save = true;
-    cc.idle_timeout = milliseconds(100);
-    cc.beacon_wake_window = milliseconds(1);
-    sim::Device& sensor = sim.add_client(
-        "door-sensor", *MacAddress::parse("24:0a:c4:aa:bb:cc"), {4, 0}, cc);
-    sim::RadioConfig rig;
-    rig.position = {8, 2};
-    sim::Device& attacker = sim.add_device(
-        {.name = "attacker", .kind = sim::DeviceKind::kAttacker},
-        *MacAddress::parse("02:de:ad:be:ef:03"), rig);
-    sim.establish(sensor, seconds(10));
-
-    std::unique_ptr<defense::BatteryGuard> guard;
-    if (guarded) {
-      guard = std::make_unique<defense::BatteryGuard>(sim.scheduler(), sensor);
-      guard->start();
-    }
-    core::FakeFrameInjector injector(attacker);
-    injector.start_stream(sensor.address(), 900.0);
-    sim.run_for(seconds(4));
-    sensor.radio().energy().reset(sim.now());
-    sim.run_for(seconds(20));
-    injector.stop_all();
-    std::printf("  guard %-3s -> %.0f mW  (2400 mWh camera: %.1f h to empty)\n",
-                guarded ? "on" : "off",
-                sensor.radio().energy().average_mw(sim.now()),
-                2400.0 / sensor.radio().energy().average_mw(sim.now()));
-  }
-
-  std::printf(
-      "\nThe punchline: in every round above, every fake frame that\n"
-      "reached an awake radio was ACKed within SIFS. The defenses work\n"
-      "around the politeness — detection, authentication above the MAC,\n"
-      "playing dead. None of them can make WiFi stop saying \"Hi!\".\n");
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("defending", argc, argv, {});
 }

@@ -1,135 +1,12 @@
 // Keystroke inference via Polite WiFi (§4.1) — the full attack.
 //
-// An ESP32-class attacker in a different room streams 150 fake frames/s
-// at a victim tablet it has never met, harvests the CSI of the elicited
-// ACKs, segments the trace into activities, and recovers keystroke
-// timing and keyboard-row estimates while the victim types a passphrase.
-//
-// The point the paper makes — and this example demonstrates — is that
-// unlike WindTalker-class attacks, NO rogue AP is needed, NO network key
-// is known, and the victim connects to nothing the attacker controls.
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run keystroke_inference` (see pw_run --list).
 //
 //   $ ./examples/keystroke_inference
-#include <cstdio>
+#include "runtime/runner.h"
 
-#include "core/csi_collector.h"
-#include "scenario/sensing_scene.h"
-#include "sensing/activity.h"
-#include "sensing/keystroke.h"
-#include "sim/network.h"
-
-using namespace politewifi;
-
-int main() {
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 41});
-
-  // Victim: WPA2 tablet on its own private network.
-  mac::ApConfig apc;
-  apc.fast_keys = true;
-  sim.add_ap("home-ap", *MacAddress::parse("f2:6e:0b:01:02:03"), {0, 0}, apc);
-  mac::ClientConfig cc;
-  cc.fast_keys = true;
-  sim::Device& victim = sim.add_client(
-      "victim-tablet", *MacAddress::parse("3c:28:6d:aa:bb:cc"), {4, 0}, cc);
-  sim.establish(victim, seconds(10));
-
-  // Attacker: ESP32 through the wall.
-  sim::RadioConfig rig;
-  rig.position = {10, 6};
-  rig.capture_csi = true;
-  sim::Device& attacker = sim.add_device(
-      {.name = "esp32-attacker", .kind = sim::DeviceKind::kAttacker},
-      *MacAddress::parse("02:0a:c4:01:02:03"), rig);
-
-  // The victim's behaviour: sits still, picks the tablet up, holds it,
-  // then types a secret.
-  const std::string secret = "hunter2 is my password";
-  scenario::BodyMotionModel user({.seed = 8});
-  user.add_phase(scenario::Activity::kStill, seconds(6));
-  user.add_phase(scenario::Activity::kPickup, seconds(4));
-  user.add_phase(scenario::Activity::kHold, seconds(6));
-  user.add_phase(scenario::Activity::kTyping, seconds(14));
-
-  auto strokes = scenario::TypingModel::generate(
-      secret, {.words_per_minute = 35, .seed = 4});
-  for (auto& k : strokes) k.at += seconds(16);  // typing starts at t=16
-  std::vector<scenario::Keystroke> in_window;
-  for (const auto& k : strokes) {
-    if (k.at < seconds(30)) in_window.push_back(k);
-  }
-  user.set_keystrokes(in_window);
-
-  scenario::install_body_csi(sim.medium(), victim.radio(), attacker.radio(),
-                             &user, sim.now());
-
-  // The attack: stream fakes, collect ACK CSI.
-  std::printf("Attacker streams 150 fake frames/s at %s (no key, no AP)...\n",
-              victim.address().to_string().c_str());
-  core::CsiCollector collector(attacker, victim.address());
-  collector.start(150.0);
-  sim.run_for(seconds(30));
-  collector.stop();
-  std::printf("  %zu CSI samples harvested from the victim's ACKs\n\n",
-              collector.samples().size());
-
-  // Analysis.
-  const int sc = sensing::select_best_subcarrier(collector.samples());
-  const auto series =
-      sensing::resample_amplitude(collector.samples(), sc, 150.0);
-
-  sensing::ActivityDetector activity;
-  std::printf("Activity timeline (from CSI alone):\n");
-  for (const auto& seg : activity.segment(series)) {
-    std::printf("  %5.1f - %5.1f s  %s\n", seg.start_s - series.t0_s,
-                seg.end_s - series.t0_s, sensing::motion_class_name(seg.cls));
-  }
-
-  // Keystrokes inside the typing window.
-  sensing::TimeSeries typing;
-  typing.dt_s = series.dt_s;
-  typing.t0_s = 16.0;
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    const double t = series.time_of(i) - series.t0_s;
-    if (t >= 16.0 && t < 30.0) typing.v.push_back(series.v[i]);
-  }
-  sensing::KeystrokeDetector detector;
-  const auto events = detector.detect(typing);
-
-  std::printf("\nRecovered keystrokes (time + keyboard-row estimate):\n");
-  static const char* kRowNames[] = {"space", "bottom row", "home row",
-                                    "top row", "number row"};
-  std::size_t row_hits = 0, matched = 0;
-  for (const auto& e : events) {
-    // Ground-truth lookup for scoring.
-    const scenario::Keystroke* truth = nullptr;
-    for (const auto& k : in_window) {
-      if (std::abs(to_seconds(k.at) - e.time_s) < 0.15) truth = &k;
-    }
-    std::printf("  t=%6.2f s  magnitude=%.3f  guess=%-10s", e.time_s,
-                e.magnitude, kRowNames[e.estimated_row]);
-    if (truth != nullptr) {
-      ++matched;
-      const bool hit = scenario::key_row(truth->key) == e.estimated_row;
-      row_hits += hit;
-      std::printf("  (truth: '%c', %s)%s", truth->key,
-                  kRowNames[scenario::key_row(truth->key)],
-                  hit ? "  <- row correct" : "");
-    }
-    std::printf("\n");
-  }
-
-  std::vector<double> truth_times;
-  for (const auto& k : in_window) truth_times.push_back(to_seconds(k.at));
-  const auto score = sensing::match_keystrokes(events, truth_times);
-  std::printf("\nScore: %zu keystrokes typed, %zu events detected "
-              "(precision %.2f, recall %.2f)\n",
-              truth_times.size(), events.size(), score.precision(),
-              score.recall());
-  if (matched > 0) {
-    std::printf("Keyboard-row accuracy on matched events: %zu/%zu (%.0f%%)\n",
-                row_hits, matched, 100.0 * double(row_hits) / double(matched));
-  }
-  std::printf("\nAll of this from a $5 device that was never on the "
-              "victim's network.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("keystroke_inference", argc, argv,
+                                           {});
 }

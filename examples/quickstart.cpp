@@ -1,80 +1,11 @@
 // Quickstart: see Polite WiFi happen in five minutes.
 //
-// Builds a WPA2 home network (AP + tablet), then has a stranger with no
-// key and no association inject one fake 802.11 null frame at the tablet
-// — and shows the tablet's hardware ACKing the spoofed sender, exactly
-// one SIFS later, before any software could possibly have an opinion.
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run quickstart` (see pw_run --list).
 //
 //   $ ./examples/quickstart
-#include <cstdio>
-#include <iostream>
+#include "runtime/runner.h"
 
-#include "core/injector.h"
-#include "sim/network.h"
-
-using namespace politewifi;
-
-int main() {
-  // --- 1. A private WPA2 network -------------------------------------------
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 1});
-  auto& trace = sim.trace();
-
-  mac::ApConfig ap_config;
-  ap_config.ssid = "PrivateNet";
-  ap_config.passphrase = "correct horse battery staple";
-  sim::Device& ap = sim.add_ap(
-      "home-ap", *MacAddress::parse("f2:6e:0b:11:22:33"), {0, 0}, ap_config);
-
-  mac::ClientConfig client_config;
-  client_config.ssid = ap_config.ssid;
-  client_config.passphrase = ap_config.passphrase;
-  sim::Device& tablet = sim.add_client(
-      "tablet", *MacAddress::parse("3c:28:6d:aa:bb:cc"), {5, 0},
-      client_config);
-
-  std::printf("Associating tablet to %s (real PBKDF2 + 4-way handshake)...\n",
-              ap_config.ssid.c_str());
-  if (!sim.establish(tablet, seconds(10))) {
-    std::printf("association failed?!\n");
-    return 1;
-  }
-  std::printf("  associated; AP completed %llu handshake(s)\n\n",
-              (unsigned long long)ap.ap()->stats().handshakes_completed);
-
-  // --- 2. A stranger ---------------------------------------------------------
-  // No role, no keys, not associated. It crafts one fake frame whose only
-  // true field is the destination address.
-  sim::RadioConfig rig;
-  rig.position = {9, 4};
-  sim::Device& stranger = sim.add_device(
-      {.name = "stranger", .kind = sim::DeviceKind::kAttacker},
-      *MacAddress::parse("02:de:ad:be:ef:01"), rig);
-
-  core::FakeFrameInjector injector(stranger);  // spoofs aa:bb:bb:bb:bb:bb
-
-  trace.clear();
-  trace.set_address_filter({MacAddress::paper_fake_address()});
-
-  std::printf("Stranger injects one fake null frame at the tablet...\n\n");
-  injector.inject_one(tablet.address());
-  sim.run_for(milliseconds(5));
-
-  // --- 3. WiFi says "Hi!" back -----------------------------------------------
-  trace.dump(std::cout);
-
-  const auto& entries = trace.entries();
-  if (entries.size() >= 2 && entries[1].frame.fc.is_ack()) {
-    const Duration gap = entries[1].time - entries[0].time -
-                         phy::ppdu_airtime(entries[0].tx.rate,
-                                           entries[0].raw.size());
-    std::printf(
-        "\nThe tablet ACKed a total stranger: ACK to %s, %.0f us (= SIFS)\n"
-        "after the fake frame ended. No key was checked. None could be.\n",
-        entries[1].frame.addr1.to_string().c_str(), to_microseconds(gap));
-  }
-  std::printf("\nTablet stats: %llu ACK(s) sent, %llu fake frame(s) "
-              "discarded later in software.\n",
-              (unsigned long long)tablet.station().stats().acks_sent,
-              (unsigned long long)tablet.client()->stats().frames_discarded);
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("quickstart", argc, argv, {});
 }

@@ -1,54 +1,13 @@
-// City-scale survey (§3): discover thousands of devices, poke each one
-// with fake frames, verify they all say "Hi!" back.
+// The §3 wardriving survey, end to end.
 //
-// Runs a scaled-down city by default so it finishes in seconds; pass a
-// scale factor to grow it (1.0 = the paper's full 5,328-device census,
-// several minutes):
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run wardriving` (see pw_run --list).
 //
-//   $ ./examples/wardriving          # scale 0.02 (~100+ devices)
-//   $ ./examples/wardriving 1.0      # the full Table 2 census
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-
-#include "core/wardrive.h"
-#include "scenario/city.h"
-
-using namespace politewifi;
+//   $ ./examples/wardriving          # default 2% city, a few seconds
+//   $ ./examples/wardriving 1.0      # the paper's full census
+#include "runtime/runner.h"
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
-
-  scenario::CityConfig city_cfg;
-  city_cfg.scale = scale;
-  city_cfg.seed = 99;
-  const scenario::CityPlan plan(
-      scenario::CityPlan::grid_route(scale >= 0.5 ? 6 : 2, 500), city_cfg);
-
-  std::printf("City: %zu APs + %zu clients along a %.1f km route "
-              "(scale %.3f)\n",
-              plan.ap_count(), plan.client_count(),
-              plan.route_length_m() / 1000.0, scale);
-  std::printf("Driving the survey rig (discover / inject / verify)...\n\n");
-
-  sim::Simulation sim({.seed = 99});
-  core::WardriveCampaign campaign(sim, plan);
-  const auto report = campaign.run();
-
-  std::printf("Drive: %.1f km in %.0f simulated seconds\n",
-              report.distance_m / 1000.0, to_seconds(report.elapsed));
-  std::printf("Discovered: %zu devices (%zu APs, %zu clients) from %zu "
-              "vendors\n",
-              report.discovered, report.discovered_aps,
-              report.discovered_clients, report.distinct_vendors);
-  std::printf("Fake frames injected: %llu; ACKs captured: %llu\n",
-              (unsigned long long)report.fake_frames_sent,
-              (unsigned long long)report.acks_observed);
-  std::printf("Responded to fakes: %zu/%zu (%.1f%%)\n\n", report.responded,
-              report.discovered, 100.0 * report.response_rate());
-
-  core::print_table2(std::cout, report.client_table, report.ap_table, 10);
-
-  std::printf("\nEvery WiFi device in town answers a stranger.\n");
-  return 0;
+  return politewifi::runtime::example_main("wardriving", argc, argv,
+                                           {"scale"});
 }

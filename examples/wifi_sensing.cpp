@@ -1,100 +1,11 @@
-// The opportunity (§4.3): whole-home WiFi sensing with software on ONE
-// device.
+// Whole-home WiFi sensing with software on ONE device (§4.3).
 //
-// An IoT hub streams fake frames at the unmodified WiFi devices already
-// scattered through a home — a smart TV, a thermostat — and turns their
-// ACKs into sensors: per-zone occupancy, motion events, and even a
-// sleeping occupant's breathing rate. The sensed devices run stock
-// firmware; Polite WiFi makes them all involuntary transmitters at
-// whatever packet rate the sensing needs.
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run wifi_sensing` (see pw_run --list).
 //
 //   $ ./examples/wifi_sensing
-#include <cstdio>
+#include "runtime/runner.h"
 
-#include "core/csi_collector.h"
-#include "scenario/sensing_scene.h"
-#include "sensing/activity.h"
-#include "sensing/vitals.h"
-#include "sim/network.h"
-
-using namespace politewifi;
-
-int main() {
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 77});
-
-  // The home: two stock devices, one hub running our software.
-  sim::RadioConfig rc;
-  rc.position = {6, 0};
-  sim::Device& tv = sim.add_device(
-      {.name = "smart-tv", .kind = sim::DeviceKind::kIot},
-      *MacAddress::parse("8c:77:12:01:02:03"), rc);
-  rc.position = {0, 7};
-  sim::Device& thermostat = sim.add_device(
-      {.name = "thermostat", .kind = sim::DeviceKind::kIot},
-      *MacAddress::parse("44:61:32:04:05:06"), rc);
-  rc.position = {0, 0};
-  rc.capture_csi = true;
-  sim::Device& hub = sim.add_device(
-      {.name = "iot-hub", .kind = sim::DeviceKind::kSniffer},
-      *MacAddress::parse("02:0a:c4:0a:0b:0c"), rc);
-
-  // What actually happens in the home.
-  scenario::BodyMotionModel living_room({.seed = 71});
-  living_room.add_phase(scenario::Activity::kStill, seconds(8));
-  living_room.add_phase(scenario::Activity::kWalking, seconds(4));
-  living_room.add_phase(scenario::Activity::kStill, seconds(18));
-
-  scenario::BodyMotionModel bedroom({.breathing_bpm = 16.0, .seed = 72});
-  bedroom.add_phase(scenario::Activity::kBreathing, seconds(90));
-
-  scenario::install_body_csi_multi(
-      sim.medium(),
-      {{&tv.radio(), &living_room}, {&thermostat.radio(), &bedroom}},
-      hub.radio(), sim.now());
-
-  // Sense zone 1: living room via the TV (100 pkt/s — the sensing-rate
-  // range the paper cites as impossible with natural traffic).
-  std::printf("Hub senses the living room via the smart TV's ACKs...\n");
-  core::CsiCollector tv_sense(hub, tv.address());
-  tv_sense.start(100.0);
-  sim.run_for(seconds(30));
-  tv_sense.stop();
-
-  const int tv_sc = sensing::select_best_subcarrier(tv_sense.samples());
-  const auto tv_series =
-      sensing::resample_amplitude(tv_sense.samples(), tv_sc, 100.0);
-  sensing::ActivityDetector detector;
-  const auto events = detector.motion_events(tv_series);
-  std::printf("  occupancy: %s\n",
-              sensing::detect_occupancy(tv_series) ? "OCCUPIED" : "empty");
-  for (const double t : events) {
-    std::printf("  motion event at t = %.1f s (truth: walk at 8 s)\n",
-                t - tv_series.t0_s);
-  }
-
-  // Sense zone 2: bedroom via the thermostat.
-  std::printf("\nHub senses the bedroom via the thermostat's ACKs...\n");
-  core::CsiCollector th_sense(hub, thermostat.address());
-  th_sense.start(50.0);
-  sim.run_for(seconds(50));
-  th_sense.stop();
-
-  const int th_sc = sensing::select_best_subcarrier(th_sense.samples());
-  const auto th_series =
-      sensing::resample_amplitude(th_sense.samples(), th_sc, 50.0);
-  const auto breathing = sensing::estimate_breathing(th_series);
-  if (breathing) {
-    std::printf("  sleeping occupant: breathing %.1f bpm "
-                "(truth: 16.0, confidence %.2f)\n",
-                breathing->rate_bpm, breathing->confidence);
-  } else {
-    std::printf("  no periodic motion detected\n");
-  }
-
-  std::printf("\nDevices modified: 1 (the hub). Devices sensed: %llu ACKs\n"
-              "from the TV, %llu from the thermostat — both on stock\n"
-              "firmware, both just being polite.\n",
-              (unsigned long long)tv.station().stats().acks_sent,
-              (unsigned long long)thermostat.station().stats().acks_sent);
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("wifi_sensing", argc, argv, {});
 }

@@ -1,76 +1,12 @@
-// Locating every WiFi device in a house from the sidewalk — the Wi-Peep
-// follow-up to Polite WiFi, end to end.
+// Locating every WiFi device in a house from the sidewalk (Wi-Peep).
 //
-// The victim devices never associate with the attacker, never share a
-// key, and never run any attacker code. They are simply polite: every
-// fake frame is ACKed a standard-fixed SIFS later, so the round-trip
-// time leaks the distance, and a short walk around the building yields
-// enough anchors to trilaterate everything inside.
+// Thin wrapper over the registered runtime experiment — identical output,
+// same knobs as `pw_run wipeep_localization` (see pw_run --list).
 //
 //   $ ./examples/wipeep_localization
-#include <cstdio>
+#include "runtime/runner.h"
 
-#include "core/localizer.h"
-#include "core/ranging.h"
-
-using namespace politewifi;
-
-int main() {
-  sim::Simulation sim({.medium = {.shadowing_sigma_db = 0.0}, .seed = 7});
-
-  // The house and its devices (ground truth the attacker never sees).
-  struct Truth {
-    const char* name;
-    MacAddress mac;
-    Position pos;
-  };
-  const std::vector<Truth> house = {
-      {"smart-tv", *MacAddress::parse("8c:77:12:01:01:01"), {6.0, 4.0}},
-      {"thermostat", *MacAddress::parse("44:61:32:02:02:02"), {2.0, 9.0}},
-      {"security-camera", *MacAddress::parse("24:0a:c4:03:03:03"), {11.0, 8.0}},
-      {"laptop", *MacAddress::parse("3c:28:6d:04:04:04"), {9.0, 2.0}},
-  };
-  mac::MacConfig silicon;
-  silicon.sifs_jitter_ns = 120.0;  // real chips jitter ~100-300 ns
-  for (const auto& t : house) {
-    sim::RadioConfig rc;
-    rc.position = t.pos;
-    sim.add_device({.name = t.name}, t.mac, rc, silicon);
-  }
-
-  sim::RadioConfig rig;
-  sim::Device& attacker = sim.add_device(
-      {.name = "walker", .kind = sim::DeviceKind::kAttacker},
-      *MacAddress::parse("02:de:ad:be:ef:07"), rig);
-  core::RttRanger ranger(sim, attacker);
-
-  // A walk around the ~13 x 11 m house.
-  const std::vector<Position> walk = {{-4, -3}, {7, -4},  {17, -2}, {18, 6},
-                                      {16, 13}, {6, 14},  {-4, 12}, {-5, 5}};
-
-  std::printf("Walking %zu anchor points around the house, 30 fake-frame\n"
-              "probes per device per point...\n\n",
-              walk.size());
-
-  std::printf("%-18s %-16s %-16s %-8s\n", "device", "truth (x, y)",
-              "estimate (x, y)", "error");
-  for (const auto& t : house) {
-    std::vector<core::RangeObservation> obs;
-    for (const auto& anchor : walk) {
-      attacker.radio().set_position(anchor);
-      const auto est = ranger.range(t.mac, 30);
-      if (est.measurements < 10) continue;
-      obs.push_back({anchor, est.distance_m,
-                     1.0 / std::max(est.stddev_m * est.stddev_m, 1.0)});
-    }
-    const auto fix = core::trilaterate(obs);
-    std::printf("%-18s (%5.1f, %5.1f)   (%5.1f, %5.1f)   %.2f m\n", t.name,
-                t.pos.x, t.pos.y, fix.position.x, fix.position.y,
-                distance(fix.position, t.pos));
-  }
-
-  std::printf("\nEvery range came from the SIFS deadline of an ACK the\n"
-              "victim was *required by the standard* to send to a frame it\n"
-              "could not possibly validate in time.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return politewifi::runtime::example_main("wipeep_localization", argc, argv,
+                                           {});
 }

@@ -1,0 +1,99 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace politewifi::common {
+
+bool ParsedArgs::has_flag(std::string_view name) const {
+  return find_flag(name) != nullptr;
+}
+
+const Flag* ParsedArgs::find_flag(std::string_view name) const {
+  const Flag* found = nullptr;
+  for (const auto& flag : flags) {
+    if (flag.name == name) found = &flag;
+  }
+  return found;
+}
+
+std::optional<ParsedArgs> parse_args(int argc, const char* const* argv,
+                                     std::string* error) {
+  ParsedArgs args;
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (options_done || arg.empty() || arg[0] != '-') {
+      args.positionals.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      if (error != nullptr) {
+        *error = "unrecognized option '" + std::string(arg) +
+                 "' (options are --name or --name=value)";
+      }
+      return std::nullopt;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    Flag flag;
+    if (eq == std::string_view::npos) {
+      flag.name = std::string(body);
+    } else {
+      flag.name = std::string(body.substr(0, eq));
+      flag.value = std::string(body.substr(eq + 1));
+    }
+    if (flag.name.empty()) {
+      if (error != nullptr) {
+        *error = "option with an empty name: '" + std::string(arg) + "'";
+      }
+      return std::nullopt;
+    }
+    args.flags.push_back(std::move(flag));
+  }
+  return args;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string buf(text);  // strtod needs a terminator
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_int64(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_bool(std::string_view text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace politewifi::common

@@ -1,0 +1,172 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+
+namespace politewifi::common {
+
+Json::Json(unsigned long v) : kind_(Kind::kInt) {
+  PW_CHECK_LE(v, static_cast<unsigned long>(
+                     std::numeric_limits<std::int64_t>::max()));
+  int_ = static_cast<std::int64_t>(v);
+}
+
+Json::Json(unsigned long long v) : kind_(Kind::kInt) {
+  PW_CHECK_LE(v, static_cast<unsigned long long>(
+                     std::numeric_limits<std::int64_t>::max()));
+  int_ = static_cast<std::int64_t>(v);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  PW_CHECK(kind_ == Kind::kObject);
+  return object_[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  PW_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+bool Json::as_bool() const {
+  PW_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  PW_CHECK(kind_ == Kind::kInt);
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  PW_CHECK(kind_ == Kind::kDouble);
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  PW_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out, 0);
+  return out;
+}
+
+void Json::append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Json::append_double(std::string* out, double v) {
+  // One canonical formatting: non-finite values are not representable in
+  // JSON and would silently poison a golden, so they are hard errors;
+  // -0.0 normalizes to "0" so equal values can't split on sign-of-zero.
+  PW_CHECK(std::isfinite(v));
+  if (v == 0.0) {
+    *out += "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  *out += buf;
+}
+
+void Json::dump_to(std::string* out, int depth) const {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      append_double(out, double_);
+      break;
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        *out += inner_pad;
+        array_[i].dump_to(out, depth + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      std::size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        *out += inner_pad;
+        append_escaped(out, key);
+        *out += ": ";
+        value.dump_to(out, depth + 1);
+        if (++i < object_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "}";
+      break;
+    }
+  }
+}
+
+}  // namespace politewifi::common

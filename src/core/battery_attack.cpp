@@ -57,3 +57,29 @@ CameraDrainProjection project_drain(const std::string& camera,
 }
 
 }  // namespace politewifi::core
+
+namespace politewifi::core {
+
+common::Json BatteryAttackResult::to_json() const {
+  common::Json j;
+  j["rate_pps"] = rate_pps;
+  j["avg_power_mw"] = avg_power_mw;
+  j["sleep_fraction"] = sleep_fraction;
+  j["acks_elicited"] = acks_elicited;
+  j["frames_injected"] = frames_injected;
+  j["template_hits"] = template_hits;
+  j["template_misses"] = template_misses;
+  j["pool_allocations"] = pool_allocations;
+  return j;
+}
+
+common::Json CameraDrainProjection::to_json() const {
+  common::Json j;
+  j["camera"] = camera;
+  j["battery_mwh"] = battery_mwh;
+  j["attack_power_mw"] = attack_power_mw;
+  j["hours_to_empty"] = hours_to_empty;
+  return j;
+}
+
+}  // namespace politewifi::core

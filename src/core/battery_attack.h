@@ -6,6 +6,7 @@
 // beacon wakes) and per-frame RX/ACK-TX energy in the radio model.
 #pragma once
 
+#include "common/json.h"
 #include "core/injector.h"
 #include "sim/network.h"
 
@@ -25,6 +26,8 @@ struct BatteryAttackResult {
   std::uint64_t template_hits = 0;
   std::uint64_t template_misses = 0;
   std::uint64_t pool_allocations = 0;
+
+  common::Json to_json() const;
 };
 
 class BatteryDrainAttack {
@@ -53,6 +56,8 @@ struct CameraDrainProjection {
   double battery_mwh;
   double attack_power_mw;
   double hours_to_empty;
+
+  common::Json to_json() const;
 };
 
 CameraDrainProjection project_drain(const std::string& camera,

@@ -68,3 +68,17 @@ LocalizationResult trilaterate(const std::vector<RangeObservation>& ranges,
 }
 
 }  // namespace politewifi::core
+
+namespace politewifi::core {
+
+common::Json LocalizationResult::to_json() const {
+  common::Json j;
+  j["x"] = position.x;
+  j["y"] = position.y;
+  j["residual_m"] = residual_m;
+  j["iterations"] = iterations;
+  j["converged"] = converged;
+  return j;
+}
+
+}  // namespace politewifi::core

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/json.h"
 #include "common/units.h"
 
 namespace politewifi::core {
@@ -23,6 +24,8 @@ struct LocalizationResult {
   double residual_m = 0.0;   // RMS range residual at the solution
   int iterations = 0;
   bool converged = false;
+
+  common::Json to_json() const;
 };
 
 /// Gauss-Newton trilateration. Needs >= 3 non-collinear anchors for an

@@ -69,3 +69,24 @@ void print_table2(std::ostream& os, const VendorTable& clients,
 }
 
 }  // namespace politewifi::core
+
+namespace politewifi::core {
+
+common::Json VendorRow::to_json() const {
+  common::Json j;
+  j["vendor"] = vendor;
+  j["devices"] = devices;
+  return j;
+}
+
+common::Json VendorTable::to_json() const {
+  common::Json j;
+  j["total"] = total;
+  j["distinct_vendors"] = distinct_vendors;
+  auto& out = j["rows"];
+  out = common::Json::array();
+  for (const auto& row : rows) out.push_back(row.to_json());
+  return j;
+}
+
+}  // namespace politewifi::core

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/json.h"
 #include "core/scanner.h"
 
 namespace politewifi::core {
@@ -13,6 +14,8 @@ namespace politewifi::core {
 struct VendorRow {
   std::string vendor;
   std::size_t devices = 0;
+
+  common::Json to_json() const;
 };
 
 struct VendorTable {
@@ -22,6 +25,8 @@ struct VendorTable {
 
   /// Top `n` rows plus an aggregated "Others" row — the paper's format.
   std::vector<VendorRow> top_with_others(std::size_t n) const;
+
+  common::Json to_json() const;
 };
 
 /// Tallies discovered devices of one class (APs or clients) by vendor.

@@ -236,3 +236,30 @@ WardriveReport WardriveCampaign::run() {
 }
 
 }  // namespace politewifi::core
+
+namespace politewifi::core {
+
+common::Json WardriveReport::to_json() const {
+  common::Json j;
+  j["elapsed_s"] = to_seconds(elapsed);
+  j["distance_m"] = distance_m;
+  j["population"] = population;
+  j["discovered"] = discovered;
+  j["discovered_aps"] = discovered_aps;
+  j["discovered_clients"] = discovered_clients;
+  j["responded"] = responded;
+  j["responded_aps"] = responded_aps;
+  j["responded_clients"] = responded_clients;
+  j["response_rate"] = response_rate();
+  j["distinct_vendors"] = distinct_vendors;
+  j["fake_frames_sent"] = fake_frames_sent;
+  j["acks_observed"] = acks_observed;
+  j["ppdu_acquires"] = ppdu_acquires;
+  j["ppdu_allocations"] = ppdu_allocations;
+  j["ppdu_bytes_copied"] = ppdu_bytes_copied;
+  j["client_vendors"] = client_table.to_json();
+  j["ap_vendors"] = ap_table.to_json();
+  return j;
+}
+
+}  // namespace politewifi::core

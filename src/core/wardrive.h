@@ -12,6 +12,7 @@
 
 #include <set>
 
+#include "common/json.h"
 #include "core/ack_sniffer.h"
 #include "core/injector.h"
 #include "core/scanner.h"
@@ -76,6 +77,9 @@ struct WardriveReport {
   double response_rate() const {
     return discovered == 0 ? 0.0 : double(responded) / double(discovered);
   }
+
+  /// Canonical JSON view (runtime result sinks, goldens).
+  common::Json to_json() const;
 };
 
 class WardriveCampaign {

@@ -116,3 +116,18 @@ std::vector<ThreatAlert> InjectionDetector::observe(const frames::Frame& frame,
 }
 
 }  // namespace politewifi::defense
+
+namespace politewifi::defense {
+
+common::Json ThreatAlert::to_json() const {
+  common::Json j;
+  j["kind"] = threat_kind_name(kind);
+  j["attacker"] = attacker.to_string();
+  j["victim"] = victim.to_string();
+  j["rate_pps"] = rate_pps;
+  j["raised_at_s"] = to_seconds(raised_at - kSimStart);
+  j["victims"] = victims;
+  return j;
+}
+
+}  // namespace politewifi::defense

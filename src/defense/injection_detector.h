@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/mac_address.h"
 #include "frames/frame.h"
 
@@ -35,6 +36,8 @@ struct ThreatAlert {
   double rate_pps = 0.0; // observed frame rate
   TimePoint raised_at{};
   std::size_t victims = 1;  // distinct targets (sweeps)
+
+  common::Json to_json() const;
 };
 
 struct InjectionDetectorConfig {

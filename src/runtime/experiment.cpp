@@ -1,0 +1,39 @@
+#include "runtime/experiment.h"
+
+#include <cstdio>
+
+namespace politewifi::runtime {
+
+const char* param_kind_name(const ParamValue& v) {
+  switch (v.index()) {
+    case 0: return "number";
+    case 1: return "integer";
+    case 2: return "bool";
+    default: return "string";
+  }
+}
+
+std::string param_value_text(const ParamValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%g", *d);
+    return buf;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(*i));
+    return buf;
+  }
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  return std::get<std::string>(v);
+}
+
+const ParamSpec* ExperimentSpec::find_param(
+    const std::string& param_name) const {
+  for (const auto& p : params) {
+    if (p.name == param_name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace politewifi::runtime

@@ -1,0 +1,19 @@
+#include "runtime/experiments/all.h"
+
+namespace politewifi::runtime {
+
+void register_builtin_experiments() {
+  static const bool once = [] {
+    register_quickstart_experiment();
+    register_wardriving_experiment();
+    register_battery_drain_experiment();
+    register_keystroke_inference_experiment();
+    register_wifi_sensing_experiment();
+    register_defending_experiment();
+    register_wipeep_localization_experiment();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace politewifi::runtime

@@ -1,0 +1,25 @@
+// Built-in experiment registration.
+//
+// Static-initializer self-registration silently breaks under static
+// libraries (the linker drops unreferenced objects), so the built-ins
+// register explicitly: every frontend calls
+// register_builtin_experiments() once (idempotent) before touching the
+// registry. One function per experiment keeps each pipeline's
+// registration next to its logic in runtime/experiments/<name>.cpp.
+#pragma once
+
+namespace politewifi::runtime {
+
+void register_quickstart_experiment();
+void register_wardriving_experiment();
+void register_battery_drain_experiment();
+void register_keystroke_inference_experiment();
+void register_wifi_sensing_experiment();
+void register_defending_experiment();
+void register_wipeep_localization_experiment();
+
+/// Registers all of the above into ExperimentRegistry::instance().
+/// Idempotent; safe to call from every main().
+void register_builtin_experiments();
+
+}  // namespace politewifi::runtime

@@ -1,0 +1,121 @@
+// Engine-throughput accounting, promoted from bench/bench_util.h so the
+// bench harness and the experiment runtime share one JSON writer.
+//
+// Construct it first thing (starts the wall clock), feed it every
+// scheduler the run drives (or aggregate counts from sweep workers),
+// then call finish() last: it prints an "engine" section and writes
+// BENCH_<name>.json — via the canonical common::Json writer, so keys
+// are sorted and the format matches every other machine-readable file
+// this repo emits. The JSONs land in PW_BENCH_DIR (or the compiled-in
+// PW_BENCH_DEFAULT_DIR, the repo root, where baselines are committed);
+// tools/bench_compare.py diffs fresh runs against those baselines.
+//
+// Wall time is intentionally *allowed* here (it is the measurement) —
+// this is the one result family exempt from the byte-identical rule,
+// which is why experiment ResultSink documents never embed a PerfReport.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "sim/event_queue.h"
+
+namespace politewifi::runtime {
+
+class PerfReport {
+ public:
+  explicit PerfReport(std::string name)
+      : name_(std::move(name)), wall_start_(std::chrono::steady_clock::now()) {}
+
+  ~PerfReport() {
+    if (!finished_) finish();
+  }
+
+  PerfReport(const PerfReport&) = delete;
+  PerfReport& operator=(const PerfReport&) = delete;
+
+  /// Accumulates a finished scheduler's event count and simulated span.
+  void add_scheduler(const sim::Scheduler& scheduler) {
+    add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
+  }
+
+  /// Aggregation hook for sweep workers: each independent simulation
+  /// reports its own totals.
+  void add_events(std::uint64_t events, Duration simulated) {
+    events_ += events;
+    sim_seconds_ += to_seconds(simulated);
+  }
+
+  /// Extra numeric facts worth tracking (scale, thread count, ...).
+  void note(const std::string& key, double value) {
+    extras_.emplace_back(key, value);
+  }
+
+  double wall_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start_)
+        .count();
+  }
+
+  std::uint64_t events() const { return events_; }
+
+  /// Prints the engine section and writes BENCH_<name>.json. Idempotent.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const double wall_s = wall_seconds();
+    const double eps = wall_s > 0.0 ? double(events_) / wall_s : 0.0;
+    const double ratio = wall_s > 0.0 ? sim_seconds_ / wall_s : 0.0;
+
+    std::printf("\n--- engine ---\n");
+    std::printf("  %-44s %.3f\n", "wall time (s)", wall_s);
+    std::printf("  %-44s %.0f\n", "events executed", double(events_));
+    std::printf("  %-44s %.0f\n", "events/sec", eps);
+    std::printf("  %-44s %.2f\n", "simulated seconds", sim_seconds_);
+    std::printf("  %-44s %.2f\n", "sim-time / wall-time", ratio);
+
+    common::Json doc = common::Json::object();
+    doc["bench"] = name_;
+    doc["wall_time_s"] = wall_s;
+    doc["events_executed"] = events_;
+    doc["events_per_sec"] = eps;
+    doc["sim_time_s"] = sim_seconds_;
+    doc["sim_wall_ratio"] = ratio;
+    for (const auto& [key, value] : extras_) doc[key] = value;
+
+    const char* dir = std::getenv("PW_BENCH_DIR");
+#ifdef PW_BENCH_DEFAULT_DIR
+    const std::string base(dir != nullptr ? dir : PW_BENCH_DEFAULT_DIR);
+#else
+    const std::string base(dir != nullptr ? dir : "");
+#endif
+    const std::string path =
+        (base.empty() ? std::string() : base + "/") + "BENCH_" + name_ +
+        ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string text = doc.dump() + "\n";
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("  %-44s %s\n", "perf json", path.c_str());
+    } else {
+      std::printf("  %-44s UNWRITABLE: %s\n", "perf json", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t events_ = 0;
+  double sim_seconds_ = 0.0;
+  std::vector<std::pair<std::string, double>> extras_;
+  bool finished_ = false;
+};
+
+}  // namespace politewifi::runtime

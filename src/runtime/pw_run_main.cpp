@@ -1,0 +1,5 @@
+#include "runtime/runner.h"
+
+int main(int argc, char** argv) {
+  return politewifi::runtime::pw_run_main(argc, argv);
+}

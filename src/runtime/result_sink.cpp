@@ -1,0 +1,42 @@
+#include "runtime/result_sink.h"
+
+#include <cstdio>
+
+namespace politewifi::runtime {
+
+ResultSink::ResultSink()
+    : meta_(common::Json::object()), results_(common::Json::object()) {}
+
+void ResultSink::set_meta(const std::string& key, common::Json value) {
+  meta_[key] = std::move(value);
+}
+
+common::Json ResultSink::document() const {
+  common::Json doc = meta_;
+  doc["results"] = results_;
+  doc["failed"] = failed_;
+  return doc;
+}
+
+std::string ResultSink::canonical_text() const {
+  return document().dump() + "\n";
+}
+
+bool ResultSink::write_file(const std::string& path,
+                            std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  const std::string text = canonical_text();
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    if (error != nullptr) *error = "short write: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace politewifi::runtime

@@ -1,0 +1,279 @@
+#include "runtime/runner.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+
+#include "runtime/experiments/all.h"
+#include "runtime/registry.h"
+#include "runtime/run_context.h"
+
+namespace politewifi::runtime {
+
+namespace {
+
+constexpr const char* kReservedFlags[] = {"list", "names", "all", "smoke",
+                                          "json", "help"};
+
+bool is_reserved(const std::string& name) {
+  for (const char* reserved : kReservedFlags) {
+    if (name == reserved) return true;
+  }
+  return false;
+}
+
+std::string known_experiments_text() {
+  std::string out;
+  for (const auto& name : ExperimentRegistry::instance().names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+void print_pw_run_usage() {
+  std::fprintf(
+      stderr,
+      "pw_run — declarative experiment runner for the Polite WiFi suite\n"
+      "\n"
+      "usage:\n"
+      "  pw_run --list                describe every registered experiment\n"
+      "  pw_run --names               bare experiment names, one per line\n"
+      "  pw_run <experiment> [--seed=N] [--smoke] [--<param>=<value> ...]\n"
+      "                      [--json[=PATH]]\n"
+      "  pw_run --all [--smoke] [--seed=N] [--json[=DIR]]\n"
+      "\n"
+      "Every run narrates on stdout exactly like the historical example\n"
+      "binaries; --json additionally writes the canonical key-sorted JSON\n"
+      "document (bare --json: <experiment>.json in the current directory).\n");
+}
+
+/// Writes `json` where the --json flag asked. `json_arg` is the flag's
+/// value ("" for bare --json); `force_dir` treats it as a directory
+/// (--all mode). Returns false on I/O failure.
+bool write_json(const std::string& name, const std::string& json,
+                const std::string& json_arg, bool force_dir) {
+  namespace fs = std::filesystem;
+  std::string path;
+  if (json_arg.empty()) {
+    path = name + ".json";
+  } else if (force_dir) {
+    std::error_code ec;
+    fs::create_directories(json_arg, ec);
+    if (ec) {
+      std::fprintf(stderr, "pw_run: cannot create directory %s: %s\n",
+                   json_arg.c_str(), ec.message().c_str());
+      return false;
+    }
+    path = (fs::path(json_arg) / (name + ".json")).string();
+  } else {
+    path = json_arg;
+    const fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      fs::create_directories(parent, ec);
+      if (ec) {
+        std::fprintf(stderr, "pw_run: cannot create directory %s: %s\n",
+                     parent.string().c_str(), ec.message().c_str());
+        return false;
+      }
+    }
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == json.size();
+    if (!ok) {
+      std::fprintf(stderr, "pw_run: short write: %s\n", path.c_str());
+      return false;
+    }
+    std::printf("json: %s\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "pw_run: cannot write %s\n", path.c_str());
+  return false;
+}
+
+void print_list() {
+  auto& registry = ExperimentRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const auto experiment = registry.create(name);
+    const ExperimentSpec& spec = experiment->spec();
+    std::printf("%-22s %s\n", name.c_str(), spec.summary.c_str());
+    std::printf("  %-28s %s\n",
+                ("--seed=" + std::to_string(spec.default_seed)).c_str(),
+                "run seed (every sub-seed derives from it)");
+    for (const auto& p : spec.params) {
+      std::string flag = "--" + p.name + "=" + param_value_text(p.default_value);
+      std::string desc = p.description;
+      if (p.smoke_value.has_value()) {
+        desc += " [smoke: " + param_value_text(*p.smoke_value) + "]";
+      }
+      std::printf("  %-28s %s\n", flag.c_str(), desc.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+RunExperimentResult run_experiment(const std::string& name,
+                                   const std::vector<common::Flag>& flags,
+                                   bool smoke) {
+  RunExperimentResult result;
+  const auto experiment = ExperimentRegistry::instance().create(name);
+  if (experiment == nullptr) {
+    result.exit_code = 2;
+    result.error = "unknown experiment '" + name +
+                   "' (known: " + known_experiments_text() + ")";
+    return result;
+  }
+  const ExperimentSpec& spec = experiment->spec();
+  ResolvedRun resolved;
+  std::string error;
+  if (!resolve_run(spec, flags, smoke, &resolved, &error)) {
+    result.exit_code = 2;
+    result.error = error;
+    return result;
+  }
+  RunContext ctx(spec, std::move(resolved));
+  experiment->run(ctx);
+  result.exit_code = ctx.failed() ? 1 : 0;
+  result.json = ctx.sink().canonical_text();
+  return result;
+}
+
+int pw_run_main(int argc, char** argv) {
+  register_builtin_experiments();
+  std::string parse_error;
+  const auto parsed = common::parse_args(argc, argv, &parse_error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "pw_run: %s\n\n", parse_error.c_str());
+    print_pw_run_usage();
+    return 2;
+  }
+  if (parsed->has_flag("help")) {
+    print_pw_run_usage();
+    return 0;
+  }
+  if (parsed->has_flag("list")) {
+    print_list();
+    return 0;
+  }
+  if (parsed->has_flag("names")) {
+    for (const auto& name : ExperimentRegistry::instance().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  const bool all = parsed->has_flag("all");
+  const bool smoke = parsed->has_flag("smoke");
+  std::optional<std::string> json_arg;
+  if (const common::Flag* flag = parsed->find_flag("json")) {
+    json_arg = flag->value.value_or("");
+  }
+
+  std::vector<common::Flag> forwarded;
+  for (const auto& flag : parsed->flags) {
+    if (!is_reserved(flag.name)) forwarded.push_back(flag);
+  }
+
+  if (all) {
+    if (!parsed->positionals.empty()) {
+      std::fprintf(stderr,
+                   "pw_run: --all takes no experiment name (got '%s')\n",
+                   parsed->positionals.front().c_str());
+      return 2;
+    }
+    for (const auto& flag : forwarded) {
+      if (flag.name != "seed") {
+        std::fprintf(stderr,
+                     "pw_run: --%s is per-experiment; with --all only "
+                     "--seed, --smoke and --json apply\n",
+                     flag.name.c_str());
+        return 2;
+      }
+    }
+    int exit_code = 0;
+    for (const auto& name : ExperimentRegistry::instance().names()) {
+      std::printf("\n===== pw_run %s =====\n\n", name.c_str());
+      const auto result = run_experiment(name, forwarded, smoke);
+      if (result.exit_code == 2) {
+        std::fprintf(stderr, "pw_run: %s\n", result.error.c_str());
+        return 2;
+      }
+      if (result.exit_code != 0) exit_code = 1;
+      if (json_arg.has_value() &&
+          !write_json(name, result.json, *json_arg, /*force_dir=*/true)) {
+        exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
+
+  if (parsed->positionals.size() != 1) {
+    print_pw_run_usage();
+    return 2;
+  }
+  const std::string& name = parsed->positionals.front();
+  const auto result = run_experiment(name, forwarded, smoke);
+  if (result.exit_code == 2) {
+    std::fprintf(stderr, "pw_run: %s\n", result.error.c_str());
+    return 2;
+  }
+  int exit_code = result.exit_code;
+  if (json_arg.has_value() &&
+      !write_json(name, result.json, *json_arg, /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+int example_main(const std::string& name, int argc, char** argv,
+                 const std::vector<std::string>& positional_params) {
+  register_builtin_experiments();
+  const auto usage = [&](const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), message.c_str());
+    std::string line = "usage: " + name;
+    for (const auto& p : positional_params) line += " [<" + p + ">]";
+    line += " [--<param>=<value> ...] [--seed=N] [--json[=PATH]]";
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fprintf(stderr,
+                 "(same experiment as `pw_run %s`; see pw_run --list)\n",
+                 name.c_str());
+    return 2;
+  };
+
+  std::string parse_error;
+  const auto parsed = common::parse_args(argc, argv, &parse_error);
+  if (!parsed.has_value()) return usage(parse_error);
+  if (parsed->positionals.size() > positional_params.size()) {
+    return usage("too many arguments");
+  }
+
+  std::vector<common::Flag> flags;
+  for (std::size_t i = 0; i < parsed->positionals.size(); ++i) {
+    flags.push_back(common::Flag{positional_params[i],
+                                 parsed->positionals[i]});
+  }
+  const bool smoke = parsed->has_flag("smoke");
+  std::optional<std::string> json_arg;
+  for (const auto& flag : parsed->flags) {
+    if (flag.name == "smoke") continue;
+    if (flag.name == "json") {
+      json_arg = flag.value.value_or("");
+      continue;
+    }
+    flags.push_back(flag);
+  }
+
+  const auto result = run_experiment(name, flags, smoke);
+  if (result.exit_code == 2) return usage(result.error);
+  int exit_code = result.exit_code;
+  if (json_arg.has_value() &&
+      !write_json(name, result.json, *json_arg, /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace politewifi::runtime

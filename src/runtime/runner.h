@@ -1,0 +1,46 @@
+// The one driver every frontend shares.
+//
+// `pw_run` (the CLI), the thin examples/ wrappers, and the runtime tests
+// all execute experiments through run_experiment(): registry lookup,
+// flag resolution against the spec, RunContext construction, the run
+// itself, and the canonical JSON document out the other side. No
+// frontend owns any experiment logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace politewifi::runtime {
+
+struct RunExperimentResult {
+  /// 0 = success, 1 = the experiment ran and reported failure,
+  /// 2 = usage error (unknown experiment / bad flags; nothing ran).
+  int exit_code = 0;
+  /// Canonical JSON document (trailing newline) when the run executed.
+  std::string json;
+  /// Usage-ready diagnostic when exit_code == 2.
+  std::string error;
+};
+
+/// Runs one registered experiment. Human narration goes to stdout (the
+/// experiment's own, byte-identical to the historical examples/); the
+/// structured document comes back in `json`.
+RunExperimentResult run_experiment(const std::string& name,
+                                   const std::vector<common::Flag>& flags,
+                                   bool smoke);
+
+/// Full pw_run CLI (--list / --names / <name> / --all, --smoke, --json).
+int pw_run_main(int argc, char** argv);
+
+/// Shared main() for the thin examples/ wrappers: legacy positional
+/// arguments map onto the named parameters in `positional_params`
+/// (e.g. wardriving's trailing scale), then modern --flags apply on
+/// top. Malformed input gets a usage message instead of atof-style
+/// silent coercion. stdout is byte-identical to the pre-registry
+/// example binaries.
+int example_main(const std::string& name, int argc, char** argv,
+                 const std::vector<std::string>& positional_params = {});
+
+}  // namespace politewifi::runtime

@@ -119,3 +119,15 @@ std::vector<double> ActivityDetector::motion_events(
 }
 
 }  // namespace politewifi::sensing
+
+namespace politewifi::sensing {
+
+common::Json Segment::to_json() const {
+  common::Json j;
+  j["class"] = motion_class_name(cls);
+  j["start_s"] = start_s;
+  j["end_s"] = end_s;
+  return j;
+}
+
+}  // namespace politewifi::sensing

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "sensing/features.h"
 #include "sensing/filters.h"
 
@@ -29,6 +30,8 @@ struct Segment {
   MotionClass cls = MotionClass::kStill;
   double start_s = 0.0;
   double end_s = 0.0;
+
+  common::Json to_json() const;
 };
 
 struct ActivityDetectorConfig {

@@ -106,3 +106,26 @@ KeystrokeMatchScore match_keystrokes(const std::vector<KeystrokeEvent>& events,
 }
 
 }  // namespace politewifi::sensing
+
+namespace politewifi::sensing {
+
+common::Json KeystrokeEvent::to_json() const {
+  common::Json j;
+  j["time_s"] = time_s;
+  j["magnitude"] = magnitude;
+  j["estimated_row"] = estimated_row;
+  return j;
+}
+
+common::Json KeystrokeMatchScore::to_json() const {
+  common::Json j;
+  j["true_positives"] = true_positives;
+  j["false_positives"] = false_positives;
+  j["misses"] = misses;
+  j["precision"] = precision();
+  j["recall"] = recall();
+  j["f1"] = f1();
+  return j;
+}
+
+}  // namespace politewifi::sensing

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/json.h"
 #include "sensing/activity.h"
 #include "sensing/features.h"
 
@@ -19,6 +20,8 @@ struct KeystrokeEvent {
   double time_s = 0.0;
   double magnitude = 0.0;  // peak deviation
   int estimated_row = 2;   // keyboard row estimate (0 space .. 4 numbers)
+
+  common::Json to_json() const;
 };
 
 struct KeystrokeDetectorConfig {
@@ -69,6 +72,8 @@ struct KeystrokeMatchScore {
     const double p = precision(), r = recall();
     return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
   }
+
+  common::Json to_json() const;
 };
 
 /// Matches detected events to ground-truth times with a tolerance.

@@ -68,3 +68,14 @@ bool detect_occupancy(const TimeSeries& amplitude,
 }
 
 }  // namespace politewifi::sensing
+
+namespace politewifi::sensing {
+
+common::Json BreathingEstimate::to_json() const {
+  common::Json j;
+  j["rate_bpm"] = rate_bpm;
+  j["confidence"] = confidence;
+  return j;
+}
+
+}  // namespace politewifi::sensing

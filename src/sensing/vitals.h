@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "common/json.h"
 #include "sensing/features.h"
 
 namespace politewifi::sensing {
@@ -15,6 +16,8 @@ namespace politewifi::sensing {
 struct BreathingEstimate {
   double rate_bpm = 0.0;
   double confidence = 0.0;  // peak power / total band power, 0..1
+
+  common::Json to_json() const;
 };
 
 struct BreathingEstimatorConfig {

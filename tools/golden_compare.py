@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare freshly produced experiment JSON against checked-in goldens.
+
+Usage:
+    tools/golden_compare.py <golden_dir> <candidate_dir> [--rtol=R] [--atol=A]
+
+Both directories must contain the same set of *.json files (a missing or
+extra candidate file is an error — silent coverage loss is the failure
+mode this gate exists for). Files are deep-compared value by value:
+
+  - objects/arrays: same keys / same length, recurse
+  - strings, bools, null: exact
+  - integers: exact
+  - floats: |a - b| <= atol + rtol * |b|  (default: exact, because the
+    simulator guarantees byte-identical canonical JSON for the same spec
+    and seed; pass --rtol/--atol only for knowingly noisy fields)
+
+Exit code 0 when everything matches, 1 with a per-path report otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def compare(golden, candidate, path, rtol, atol, errors):
+    if type(golden) is not type(candidate) and not (
+        isinstance(golden, (int, float))
+        and isinstance(candidate, (int, float))
+        and not isinstance(golden, bool)
+        and not isinstance(candidate, bool)
+    ):
+        errors.append(f"{path}: type {type(golden).__name__} != "
+                      f"{type(candidate).__name__}")
+        return
+    if isinstance(golden, dict):
+        missing = sorted(golden.keys() - candidate.keys())
+        extra = sorted(candidate.keys() - golden.keys())
+        if missing:
+            errors.append(f"{path}: missing keys {missing}")
+        if extra:
+            errors.append(f"{path}: extra keys {extra}")
+        for key in sorted(golden.keys() & candidate.keys()):
+            compare(golden[key], candidate[key], f"{path}.{key}", rtol, atol,
+                    errors)
+    elif isinstance(golden, list):
+        if len(golden) != len(candidate):
+            errors.append(f"{path}: length {len(golden)} != {len(candidate)}")
+            return
+        for i, (g, c) in enumerate(zip(golden, candidate)):
+            compare(g, c, f"{path}[{i}]", rtol, atol, errors)
+    elif isinstance(golden, bool) or golden is None or isinstance(golden, str):
+        if golden != candidate:
+            errors.append(f"{path}: {golden!r} != {candidate!r}")
+    elif isinstance(golden, int) and isinstance(candidate, int):
+        if golden != candidate:
+            errors.append(f"{path}: {golden} != {candidate}")
+    else:  # at least one float
+        if abs(golden - candidate) > atol + rtol * abs(golden):
+            errors.append(f"{path}: {golden} != {candidate} "
+                          f"(rtol={rtol}, atol={atol})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden_dir", type=pathlib.Path)
+    parser.add_argument("candidate_dir", type=pathlib.Path)
+    parser.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance for floats (default exact)")
+    parser.add_argument("--atol", type=float, default=0.0,
+                        help="absolute tolerance for floats (default exact)")
+    args = parser.parse_args()
+
+    golden_files = sorted(p.name for p in args.golden_dir.glob("*.json"))
+    candidate_files = sorted(p.name for p in args.candidate_dir.glob("*.json"))
+    if not golden_files:
+        print(f"golden_compare: no *.json files in {args.golden_dir}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for name in sorted(set(golden_files) - set(candidate_files)):
+        print(f"MISSING  {name}: golden exists but candidate was not produced")
+        failed = True
+    for name in sorted(set(candidate_files) - set(golden_files)):
+        print(f"EXTRA    {name}: candidate has no checked-in golden "
+              f"(add one under the golden dir)")
+        failed = True
+
+    for name in sorted(set(golden_files) & set(candidate_files)):
+        with open(args.golden_dir / name) as f:
+            golden = json.load(f)
+        with open(args.candidate_dir / name) as f:
+            candidate = json.load(f)
+        errors = []
+        compare(golden, candidate, name.removesuffix(".json"), args.rtol,
+                args.atol, errors)
+        if errors:
+            failed = True
+            print(f"DIFF     {name}:")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"OK       {name}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

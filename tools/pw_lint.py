@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""pw_lint: repo-specific determinism and hygiene checks for src/.
+"""pw_lint: repo-specific determinism and hygiene checks for src/ and
+examples/.
 
 The simulator's results are exact-equivalence claims (byte-identical
 survey output, bit-reproducible sweeps), so the classic ways C++ code
@@ -36,6 +37,12 @@ CI rather than by review vigilance:
                         to read, Bytes&& to adopt, or a PpduRef to share.
                         Intentional owning sinks (builder-style setters
                         that move) use the inline escape hatch.
+  raw-sim-construction  naming sim::Simulation / SimulationConfig inside
+                        src/runtime/experiments/: an experiment's only
+                        sanctioned seed source is RunContext::make_sim
+                        (seeded from the run seed), so hand-constructed
+                        simulations — and with them wall-clock or ad-hoc
+                        seeds — can't sneak back into the suite.
 
 Violations can be acknowledged in tools/pw_lint_allowlist.txt as
 `path:rule  # justification` (the justification is mandatory), or
@@ -43,7 +50,7 @@ inline with `// pw-lint: allow(rule)` on the offending line. Unused
 allowlist entries are themselves errors, so the file can only shrink.
 
 Usage:
-  python3 tools/pw_lint.py             # lint src/ (the CI gate)
+  python3 tools/pw_lint.py             # lint src/ + examples/ (the CI gate)
   python3 tools/pw_lint.py FILES...    # lint specific files (pre-push)
 """
 
@@ -62,6 +69,13 @@ HOT_PATH_DIRS = ("src/sim", "src/mac", "src/phy")
 # Directories on the zero-copy payload pipeline, where a by-value octet
 # parameter means a hidden per-call copy.
 BY_VALUE_DIRS = ("src/sim", "src/frames")
+
+# Experiment pipelines must obtain simulations (and therefore seeds) from
+# RunContext::make_sim, never by naming the Simulation type themselves.
+EXPERIMENT_DIRS = ("src/runtime/experiments",)
+
+# Linted roots for a no-argument run.
+LINT_ROOTS = ("src", "examples")
 
 WALL_CLOCK_RE = re.compile(
     r"\b(?:time|clock|gettimeofday|clock_gettime|getrandom)\s*\("
@@ -83,6 +97,7 @@ UNORDERED_ALIAS_RE = re.compile(
     r"using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\b"
 )
 INLINE_ALLOW_RE = re.compile(r"//\s*pw-lint:\s*allow\((\s*[\w-]+\s*)\)")
+RAW_SIM_RE = re.compile(r"\bsim::Simulation\b|\bSimulationConfig\b")
 # A by-value octet-buffer parameter: `Bytes name` (no &/&&) directly after
 # an opening paren or comma, or starting a continuation line of a wrapped
 # signature. Matches parameters, not declarations (`Bytes x;`) or
@@ -204,6 +219,7 @@ class Linter:
         in_clock = rel == "src/common/clock.h"
         hot = rel.startswith(HOT_PATH_DIRS)
         zero_copy = rel.startswith(BY_VALUE_DIRS)
+        experiment = rel.startswith(EXPERIMENT_DIRS)
 
         # Track "inside a derived class" with a brace-depth heuristic good
         # enough for this codebase's one-class-per-header style.
@@ -234,6 +250,11 @@ class Linter:
                 self.report(path, lineno, "raw-new",
                             "raw new/delete in a sim hot path; pool it or "
                             "hold it by value", raw)
+            if experiment and RAW_SIM_RE.search(line):
+                self.report(path, lineno, "raw-sim-construction",
+                            "experiments build simulations through "
+                            "RunContext::make_sim (run-seed derived), never "
+                            "by hand", raw)
             if zero_copy and BY_VALUE_BYTES_RE.search(line):
                 self.report(path, lineno, "by-value-bytes",
                             "by-value octet buffer on the payload pipeline; "
@@ -299,10 +320,12 @@ def main(argv: list[str]) -> int:
     if argv:
         files = [Path(a).resolve() for a in argv]
     else:
-        files = sorted((REPO / "src").rglob("*.h")) + \
-            sorted((REPO / "src").rglob("*.cpp"))
+        files = []
+        for root in LINT_ROOTS:
+            files += sorted((REPO / root).rglob("*.h")) + \
+                sorted((REPO / root).rglob("*.cpp"))
     files = [f for f in files if f.suffix in (".h", ".cpp")
-             and (REPO / "src") in f.parents]
+             and any((REPO / root) in f.parents for root in LINT_ROOTS)]
     linter = Linter(load_allowlist())
     for f in files:
         linter.lint_file(f)
