@@ -19,6 +19,7 @@
 
 #include "bench_util.h"
 #include "frames/frame.h"
+#include "obs/metrics.h"
 #include "sim/medium.h"
 #include "sim/radio.h"
 
@@ -109,7 +110,7 @@ double bench_cancel_churn(bench::PerfReport& perf) {
 /// One transmitter among `n` radios scattered over `extent_m`, with or
 /// without the spatial index. Returns transmissions/sec.
 double bench_fanout(bench::PerfReport& perf, std::size_t n, double extent_m,
-                    bool use_index, int rounds) {
+                    bool use_index, int rounds, bool note_perf = true) {
   sim::Scheduler scheduler;
   sim::MediumConfig mc;
   mc.shadowing_sigma_db = 0.0;
@@ -145,10 +146,12 @@ double bench_fanout(bench::PerfReport& perf, std::size_t n, double extent_m,
       double(stats.candidates_scanned) / double(stats.transmissions),
       double(stats.receptions) / double(stats.transmissions));
   perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
-  char key[64];
-  std::snprintf(key, sizeof key, "fanout_%zu_%s_tx_per_sec", n,
-                use_index ? "indexed" : "brute");
-  perf.note(key, rounds / dt);
+  if (note_perf) {
+    char key[64];
+    std::snprintf(key, sizeof key, "fanout_%zu_%s_tx_per_sec", n,
+                  use_index ? "indexed" : "brute");
+    perf.note(key, rounds / dt);
+  }
   return rounds / dt;
 }
 
@@ -160,7 +163,8 @@ double bench_fanout(bench::PerfReport& perf, std::size_t n, double extent_m,
 /// for the zero-copy run, records the steady-state allocation delta
 /// measured by the counting operator-new hook after a warm-up phase.
 double bench_ppdu_pipeline(bench::PerfReport& perf, bool zero_copy,
-                           std::size_t n_rx, int frames) {
+                           std::size_t n_rx, int frames,
+                           bool note_perf = true) {
   sim::Scheduler scheduler;
   sim::MediumConfig mc;
   mc.shadowing_sigma_db = 0.0;
@@ -221,6 +225,7 @@ double bench_ppdu_pipeline(bench::PerfReport& perf, bool zero_copy,
       static_cast<unsigned long long>(steady_allocs),
       static_cast<unsigned long long>(medium.stats().ppdu_bytes_copied));
   perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
+  if (!note_perf) return frames / dt;
   if (zero_copy) {
     perf.note("ppdu_pipeline_frames_per_sec", frames / dt);
     perf.note("ppdu_pipeline_steady_allocations", double(steady_allocs));
@@ -265,6 +270,24 @@ int main() {
     bench::kvf("zero-copy speedup", "%.2fx", zc / legacy);
     perf.note("ppdu_pipeline_speedup", zc / legacy);
   }
+
+  bench::section("metrics harvest (fixed size, untimed)");
+  // The obs/ registry stays disabled through every timed phase above so
+  // the throughput baselines are unperturbed; these small fixed-size
+  // deterministic passes harvest the counters bench_compare.py --metrics
+  // gates. The fan-out pass keeps frame-error modelling on, so the FER
+  // and link caches see real traffic (hit rates); the zero-copy pipeline
+  // pass pins ppdu_bytes_copied at 0. Under -DPW_METRICS=OFF the macros
+  // are compiled out and the block is all zeros, which the comparer
+  // treats as "no data" rather than a regression.
+  obs::Registry::reset();
+  obs::Registry::set_enabled(true);
+  bench_fanout(perf, 500, 2000.0, /*use_index=*/true, /*rounds=*/200,
+               /*note_perf=*/false);
+  bench_ppdu_pipeline(perf, /*zero_copy=*/true, 50, 2000,
+                      /*note_perf=*/false);
+  obs::Registry::set_enabled(false);
+  perf.set_metrics(obs::Registry::to_json());
 
   perf.finish();
   return pp > 0.0 ? 0 : 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace politewifi::frames {
 
@@ -56,6 +57,7 @@ PpduRef PpduPool::acquire() {
   ++stats_.acquires;
   if (pooling_ && !free_.empty()) {
     ++stats_.reuses;
+    PW_COUNT(kPpduPoolReuses);
     PpduRef::Buffer* buf = free_.back();
     free_.pop_back();
     buf->on_free_list = false;
@@ -63,6 +65,7 @@ PpduRef PpduPool::acquire() {
     return PpduRef(buf);
   }
   ++stats_.allocations;
+  PW_COUNT(kPpduPoolAllocations);
   auto* buf = new PpduRef::Buffer;
   if (pooling_) {
     buf->pool = this;

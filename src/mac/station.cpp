@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace politewifi::mac {
 
 namespace {
@@ -161,6 +163,7 @@ void Station::schedule_ack(const Frame& frame, const phy::RxVector& rx) {
   }
   env_.schedule(delay, [this, ack, rate] {
     ++stats_.acks_sent;
+    PW_COUNT(kMacAcksSent);
     env_.transmit(ack, {.rate = rate, .power_dbm = config_.tx_power_dbm});
   });
 }
@@ -191,6 +194,7 @@ void Station::schedule_validating_ack(const Frame& frame,
   const phy::PhyRate rate = phy::control_response_rate(rx.rate);
   env_.schedule(delay, [this, ack, rate] {
     ++stats_.acks_sent;
+    PW_COUNT(kMacAcksSent);
     env_.transmit(ack, {.rate = rate, .power_dbm = config_.tx_power_dbm});
   });
 }
@@ -217,6 +221,7 @@ bool Station::is_duplicate(const Frame& frame) {
   for (DedupEntry& e : dedup_cache_) {
     if (e.stamp < lru->stamp) lru = &e;
   }
+  PW_COUNT(kMacDedupEvictions);
   *lru = DedupEntry{frame.addr2, sc, now};
   return false;
 }
@@ -270,6 +275,7 @@ void Station::attempt_transmission() {
   if (tx.attempt > 1) {
     tx.frame.fc.retry = true;
     ++stats_.retransmissions;
+    PW_COUNT(kMacRetries);
   }
   if (config_.adaptive_rate) tx.rate = arf_.current();
 
@@ -307,6 +313,7 @@ void Station::launch_data_frame() {
   if (!current_) return;
   PendingTx& tx = *current_;
   ++stats_.frames_transmitted;
+  PW_HIST(kMacTxOctets, tx.frame.size_bytes());
   env_.transmit(tx.frame, {.rate = tx.rate, .power_dbm = config_.tx_power_dbm});
 
   const bool needs_ack = !tx.frame.addr1.is_group() && !tx.frame.fc.is_ack() &&

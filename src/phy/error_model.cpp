@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace politewifi::phy {
 
 namespace {
@@ -47,8 +49,13 @@ double bit_error_rate(PhyRate rate, double snr_db) {
 double frame_error_rate(PhyRate rate, double snr_db, std::size_t mpdu_octets) {
   const double ber = bit_error_rate(rate, snr_db);
   const double bits = 8.0 * double(mpdu_octets);
-  const double fer = 1.0 - std::pow(1.0 - ber, bits);
-  return std::clamp(fer, 0.0, 1.0);
+  const double fer = std::clamp(1.0 - std::pow(1.0 - ber, bits), 0.0, 1.0);
+  // In a medium-driven run every call here is a FER-memo miss (the
+  // medium memoizes), so fer_draws == fer_cache_misses is an invariant
+  // the metrics block lets CI watch.
+  PW_COUNT(kPhyFerDraws);
+  PW_HIST(kPhyFerPpm, std::llround(fer * 1e6));
+  return fer;
 }
 
 }  // namespace politewifi::phy

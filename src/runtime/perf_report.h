@@ -58,6 +58,12 @@ class PerfReport {
     extras_.emplace_back(key, value);
   }
 
+  /// Attaches an obs/ metrics block (Registry::to_json()) under the
+  /// "metrics" key. bench_compare.py's default mode skips the object
+  /// (non-numeric); --metrics mode gates hit/reuse rates derived from
+  /// its counters.
+  void set_metrics(common::Json metrics) { metrics_ = std::move(metrics); }
+
   double wall_seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          wall_start_)
@@ -89,6 +95,7 @@ class PerfReport {
     doc["sim_time_s"] = sim_seconds_;
     doc["sim_wall_ratio"] = ratio;
     for (const auto& [key, value] : extras_) doc[key] = value;
+    if (!metrics_.is_null()) doc["metrics"] = std::move(metrics_);
 
     const char* dir = std::getenv("PW_BENCH_DIR");
 #ifdef PW_BENCH_DEFAULT_DIR
@@ -115,6 +122,7 @@ class PerfReport {
   std::uint64_t events_ = 0;
   double sim_seconds_ = 0.0;
   std::vector<std::pair<std::string, double>> extras_;
+  common::Json metrics_;
   bool finished_ = false;
 };
 

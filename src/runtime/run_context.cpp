@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace politewifi::runtime {
 
@@ -155,10 +156,12 @@ RunContext::RunContext(const ExperimentSpec& spec, ResolvedRun run)
 }
 
 std::uint64_t RunContext::derive_seed(std::string_view label) const {
+  PW_COUNT(kRuntimeSubseedsDerived);
   return splitmix64(run_.seed ^ fnv1a64(label));
 }
 
 std::uint64_t RunContext::derive_seed(std::uint64_t index) const {
+  PW_COUNT(kRuntimeSubseedsDerived);
   return splitmix64(run_.seed ^ (0x5deece66dULL + index));
 }
 
@@ -197,6 +200,7 @@ std::unique_ptr<sim::Simulation> RunContext::make_sim(
   sim::SimulationConfig config;
   config.medium = std::move(medium);
   config.seed = run_.seed + seed_offset;
+  PW_COUNT(kRuntimeSimsBuilt);
   return std::make_unique<sim::Simulation>(std::move(config));
 }
 

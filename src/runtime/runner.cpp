@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "runtime/experiments/all.h"
 #include "runtime/registry.h"
 #include "runtime/run_context.h"
@@ -12,8 +14,8 @@ namespace politewifi::runtime {
 
 namespace {
 
-constexpr const char* kReservedFlags[] = {"list", "names", "all", "smoke",
-                                          "json", "help"};
+constexpr const char* kReservedFlags[] = {"list", "names", "all",      "smoke",
+                                          "json", "help",  "metrics", "timeline"};
 
 bool is_reserved(const std::string& name) {
   for (const char* reserved : kReservedFlags) {
@@ -40,34 +42,44 @@ void print_pw_run_usage() {
       "  pw_run --list                describe every registered experiment\n"
       "  pw_run --names               bare experiment names, one per line\n"
       "  pw_run <experiment> [--seed=N] [--smoke] [--<param>=<value> ...]\n"
-      "                      [--json[=PATH]]\n"
-      "  pw_run --all [--smoke] [--seed=N] [--json[=DIR]]\n"
+      "                      [--json[=PATH]] [--metrics[=PATH]]\n"
+      "                      [--timeline[=PATH]]\n"
+      "  pw_run --all [--smoke] [--seed=N] [--json[=DIR]] [--metrics[=DIR]]\n"
+      "               [--timeline[=DIR]]\n"
       "\n"
       "Every run narrates on stdout exactly like the historical example\n"
       "binaries; --json additionally writes the canonical key-sorted JSON\n"
-      "document (bare --json: <experiment>.json in the current directory).\n");
+      "document (bare --json: <experiment>.json in the current directory).\n"
+      "--metrics collects the obs/ registry over the run: the canonical\n"
+      "metrics block is appended to the JSON document and written alone to\n"
+      "PATH (default <experiment>.metrics.json); byte-identical across\n"
+      "PW_THREADS. --metrics implies --timeline, which writes a Chrome\n"
+      "trace (chrome://tracing / Perfetto) to PATH (default\n"
+      "<experiment>.trace.json). See OBSERVABILITY.md.\n");
 }
 
-/// Writes `json` where the --json flag asked. `json_arg` is the flag's
-/// value ("" for bare --json); `force_dir` treats it as a directory
-/// (--all mode). Returns false on I/O failure.
-bool write_json(const std::string& name, const std::string& json,
-                const std::string& json_arg, bool force_dir) {
+/// Writes one output document where its flag asked. `label` names the
+/// flag in diagnostics ("json", "metrics", "timeline"); `default_name`
+/// is used when `arg` is empty (bare flag); `force_dir` treats `arg` as
+/// a directory (--all mode). Returns false on I/O failure.
+bool write_output(const char* label, const std::string& default_name,
+                  const std::string& text, const std::string& arg,
+                  bool force_dir) {
   namespace fs = std::filesystem;
   std::string path;
-  if (json_arg.empty()) {
-    path = name + ".json";
+  if (arg.empty()) {
+    path = default_name;
   } else if (force_dir) {
     std::error_code ec;
-    fs::create_directories(json_arg, ec);
+    fs::create_directories(arg, ec);
     if (ec) {
       std::fprintf(stderr, "pw_run: cannot create directory %s: %s\n",
-                   json_arg.c_str(), ec.message().c_str());
+                   arg.c_str(), ec.message().c_str());
       return false;
     }
-    path = (fs::path(json_arg) / (name + ".json")).string();
+    path = (fs::path(arg) / default_name).string();
   } else {
-    path = json_arg;
+    path = arg;
     const fs::path parent = fs::path(path).parent_path();
     if (!parent.empty()) {
       std::error_code ec;
@@ -80,17 +92,41 @@ bool write_json(const std::string& name, const std::string& json,
     }
   }
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-    const bool ok = std::fclose(f) == 0 && written == json.size();
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == text.size();
     if (!ok) {
       std::fprintf(stderr, "pw_run: short write: %s\n", path.c_str());
       return false;
     }
-    std::printf("json: %s\n", path.c_str());
+    std::printf("%s: %s\n", label, path.c_str());
     return true;
   }
   std::fprintf(stderr, "pw_run: cannot write %s\n", path.c_str());
   return false;
+}
+
+bool write_json(const std::string& name, const std::string& json,
+                const std::string& json_arg, bool force_dir) {
+  return write_output("json", name + ".json", json, json_arg, force_dir);
+}
+
+/// Writes the --metrics / --timeline artifacts of one finished run.
+/// Returns false if any requested write failed.
+bool write_obs_outputs(const std::string& name,
+                       const RunExperimentResult& result,
+                       const std::optional<std::string>& metrics_arg,
+                       const std::optional<std::string>& timeline_arg,
+                       bool force_dir) {
+  bool ok = true;
+  if (metrics_arg.has_value()) {
+    ok &= write_output("metrics", name + ".metrics.json", result.metrics_json,
+                       *metrics_arg, force_dir);
+  }
+  if (metrics_arg.has_value() || timeline_arg.has_value()) {
+    ok &= write_output("timeline", name + ".trace.json", result.timeline_json,
+                       timeline_arg.value_or(""), force_dir);
+  }
+  return ok;
 }
 
 void print_list() {
@@ -117,7 +153,8 @@ void print_list() {
 
 RunExperimentResult run_experiment(const std::string& name,
                                    const std::vector<common::Flag>& flags,
-                                   bool smoke) {
+                                   bool smoke,
+                                   const RunOptions& options) {
   RunExperimentResult result;
   const auto experiment = ExperimentRegistry::instance().create(name);
   if (experiment == nullptr) {
@@ -134,8 +171,32 @@ RunExperimentResult run_experiment(const std::string& name,
     result.error = error;
     return result;
   }
+  // Observability is scoped to exactly this run: the registry window is
+  // reset here (RunContext construction already derives no sub-seeds),
+  // and the profiler uninstalls before results are serialized.
+  if (options.metrics) {
+    obs::Registry::reset();
+    obs::Registry::set_enabled(true);
+  }
+  obs::TimelineProfiler timeline;
+  if (options.timeline) obs::set_active_timeline(&timeline);
+
   RunContext ctx(spec, std::move(resolved));
-  experiment->run(ctx);
+  {
+    PW_TIMEIT(kRuntimeExperimentWallNs, "experiment");
+    experiment->run(ctx);
+  }
+
+  if (options.timeline) {
+    obs::set_active_timeline(nullptr);
+    result.timeline_json = timeline.to_json().dump() + "\n";
+  }
+  if (options.metrics) {
+    obs::Registry::set_enabled(false);
+    common::Json metrics = obs::Registry::to_json();
+    result.metrics_json = metrics.dump() + "\n";
+    ctx.sink().set_meta("metrics", std::move(metrics));
+  }
   result.exit_code = ctx.failed() ? 1 : 0;
   result.json = ctx.sink().canonical_text();
   return result;
@@ -171,6 +232,17 @@ int pw_run_main(int argc, char** argv) {
   if (const common::Flag* flag = parsed->find_flag("json")) {
     json_arg = flag->value.value_or("");
   }
+  std::optional<std::string> metrics_arg;
+  if (const common::Flag* flag = parsed->find_flag("metrics")) {
+    metrics_arg = flag->value.value_or("");
+  }
+  std::optional<std::string> timeline_arg;
+  if (const common::Flag* flag = parsed->find_flag("timeline")) {
+    timeline_arg = flag->value.value_or("");
+  }
+  RunOptions options;
+  options.metrics = metrics_arg.has_value();
+  options.timeline = options.metrics || timeline_arg.has_value();
 
   std::vector<common::Flag> forwarded;
   for (const auto& flag : parsed->flags) {
@@ -188,7 +260,8 @@ int pw_run_main(int argc, char** argv) {
       if (flag.name != "seed") {
         std::fprintf(stderr,
                      "pw_run: --%s is per-experiment; with --all only "
-                     "--seed, --smoke and --json apply\n",
+                     "--seed, --smoke, --json, --metrics and --timeline "
+                     "apply\n",
                      flag.name.c_str());
         return 2;
       }
@@ -196,7 +269,7 @@ int pw_run_main(int argc, char** argv) {
     int exit_code = 0;
     for (const auto& name : ExperimentRegistry::instance().names()) {
       std::printf("\n===== pw_run %s =====\n\n", name.c_str());
-      const auto result = run_experiment(name, forwarded, smoke);
+      const auto result = run_experiment(name, forwarded, smoke, options);
       if (result.exit_code == 2) {
         std::fprintf(stderr, "pw_run: %s\n", result.error.c_str());
         return 2;
@@ -204,6 +277,10 @@ int pw_run_main(int argc, char** argv) {
       if (result.exit_code != 0) exit_code = 1;
       if (json_arg.has_value() &&
           !write_json(name, result.json, *json_arg, /*force_dir=*/true)) {
+        exit_code = 1;
+      }
+      if (!write_obs_outputs(name, result, metrics_arg, timeline_arg,
+                             /*force_dir=*/true)) {
         exit_code = 1;
       }
     }
@@ -215,7 +292,7 @@ int pw_run_main(int argc, char** argv) {
     return 2;
   }
   const std::string& name = parsed->positionals.front();
-  const auto result = run_experiment(name, forwarded, smoke);
+  const auto result = run_experiment(name, forwarded, smoke, options);
   if (result.exit_code == 2) {
     std::fprintf(stderr, "pw_run: %s\n", result.error.c_str());
     return 2;
@@ -223,6 +300,10 @@ int pw_run_main(int argc, char** argv) {
   int exit_code = result.exit_code;
   if (json_arg.has_value() &&
       !write_json(name, result.json, *json_arg, /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  if (!write_obs_outputs(name, result, metrics_arg, timeline_arg,
+                         /*force_dir=*/false)) {
     exit_code = 1;
   }
   return exit_code;
@@ -236,6 +317,7 @@ int example_main(const std::string& name, int argc, char** argv,
     std::string line = "usage: " + name;
     for (const auto& p : positional_params) line += " [<" + p + ">]";
     line += " [--<param>=<value> ...] [--seed=N] [--json[=PATH]]";
+    line += " [--metrics[=PATH]] [--timeline[=PATH]]";
     std::fprintf(stderr, "%s\n", line.c_str());
     std::fprintf(stderr,
                  "(same experiment as `pw_run %s`; see pw_run --list)\n",
@@ -257,20 +339,37 @@ int example_main(const std::string& name, int argc, char** argv,
   }
   const bool smoke = parsed->has_flag("smoke");
   std::optional<std::string> json_arg;
+  std::optional<std::string> metrics_arg;
+  std::optional<std::string> timeline_arg;
   for (const auto& flag : parsed->flags) {
     if (flag.name == "smoke") continue;
     if (flag.name == "json") {
       json_arg = flag.value.value_or("");
       continue;
     }
+    if (flag.name == "metrics") {
+      metrics_arg = flag.value.value_or("");
+      continue;
+    }
+    if (flag.name == "timeline") {
+      timeline_arg = flag.value.value_or("");
+      continue;
+    }
     flags.push_back(flag);
   }
+  RunOptions options;
+  options.metrics = metrics_arg.has_value();
+  options.timeline = options.metrics || timeline_arg.has_value();
 
-  const auto result = run_experiment(name, flags, smoke);
+  const auto result = run_experiment(name, flags, smoke, options);
   if (result.exit_code == 2) return usage(result.error);
   int exit_code = result.exit_code;
   if (json_arg.has_value() &&
       !write_json(name, result.json, *json_arg, /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  if (!write_obs_outputs(name, result, metrics_arg, timeline_arg,
+                         /*force_dir=*/false)) {
     exit_code = 1;
   }
   return exit_code;

@@ -14,12 +14,31 @@
 
 namespace politewifi::runtime {
 
+/// Observability options for one run (the CLI's --metrics/--timeline).
+struct RunOptions {
+  /// Collect the obs/ metrics registry over the run and append the
+  /// canonical `metrics` block to the JSON document. The registry is
+  /// reset first, so the block covers exactly this run.
+  bool metrics = false;
+  /// Record a Chrome-tracing timeline over the run (radio power-state
+  /// dwells in sim time + PW_TIMEIT wall spans); the trace comes back
+  /// in `timeline_json`. --metrics implies a timeline at the CLI.
+  bool timeline = false;
+};
+
 struct RunExperimentResult {
   /// 0 = success, 1 = the experiment ran and reported failure,
   /// 2 = usage error (unknown experiment / bad flags; nothing ran).
   int exit_code = 0;
   /// Canonical JSON document (trailing newline) when the run executed.
   std::string json;
+  /// Canonical `metrics` block alone (trailing newline) when
+  /// RunOptions::metrics asked for it — what --metrics=PATH writes.
+  std::string metrics_json;
+  /// Chrome trace-event JSON (trailing newline) when
+  /// RunOptions::timeline asked for it. Diagnostics only: wall times
+  /// and track numbering are not covered by the determinism contract.
+  std::string timeline_json;
   /// Usage-ready diagnostic when exit_code == 2.
   std::string error;
 };
@@ -29,7 +48,8 @@ struct RunExperimentResult {
 /// structured document comes back in `json`.
 RunExperimentResult run_experiment(const std::string& name,
                                    const std::vector<common::Flag>& flags,
-                                   bool smoke);
+                                   bool smoke,
+                                   const RunOptions& options = {});
 
 /// Full pw_run CLI (--list / --names / <name> / --all, --smoke, --json).
 int pw_run_main(int argc, char** argv);

@@ -1,6 +1,8 @@
 #include "sim/energy_model.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace politewifi::sim {
 
@@ -64,7 +66,17 @@ void EnergyMeter::set_state(RadioState next, TimePoint now) {
   if (dwelt > Duration::zero()) {
     accrued_mj_ += state_power_mw(state_) * to_seconds(dwelt);
     dwell_[static_cast<int>(state_)] += dwelt;
+    // The dwell just closed is one sim-time span on this radio's track.
+    if (timeline_pid_ >= 0) {
+      if (obs::TimelineProfiler* timeline = obs::active_timeline()) {
+        timeline->add_sim_span(radio_state_name(state_), timeline_pid_,
+                               timeline_tid_,
+                               state_start_.time_since_epoch().count(),
+                               dwelt.count());
+      }
+    }
   }
+  if (next != state_) PW_COUNT(kRadioStateTransitions);
   state_ = next;
   state_start_ = now;
 }

@@ -56,8 +56,18 @@ class EnergyMeter {
 
   RadioState state() const { return state_; }
 
-  /// Switches state, accruing energy for the dwell just ended.
+  /// Switches state, accruing energy for the dwell just ended. When a
+  /// timeline profiler is active (and timeline ids are set), the closed
+  /// dwell is also emitted as a sim-time trace span.
   void set_state(RadioState next, TimePoint now);
+
+  /// Trace identity for this meter's spans: `pid` is the owning
+  /// medium's timeline group, `tid` the radio id. Radio's constructor
+  /// sets these; meters without ids (bare tests) never emit spans.
+  void set_timeline_ids(std::int64_t pid, std::int64_t tid) {
+    timeline_pid_ = pid;
+    timeline_tid_ = tid;
+  }
 
   /// Charges the fixed transmit ramp overhead for one TX event.
   void charge_tx_ramp() { ramp_events_++; }
@@ -83,6 +93,8 @@ class EnergyMeter {
 
   PowerProfile profile_;
   RadioState state_ = RadioState::kIdle;
+  std::int64_t timeline_pid_ = -1;  // -1: spans disabled
+  std::int64_t timeline_tid_ = 0;
   TimePoint state_start_;
   TimePoint meter_start_;
   double accrued_mj_ = 0.0;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace politewifi::sim {
 
@@ -65,6 +66,7 @@ std::uint32_t Scheduler::acquire_slot() {
     return index;
   }
   pool_.emplace_back();
+  PW_GAUGE_MAX(kSchedulerPoolSlotsPeak, pool_.size());
   return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
@@ -98,6 +100,8 @@ void Scheduler::cancel(EventId id) {
   slot.cancelled = true;
   slot.fn.reset();  // drop captured buffers now, not at pop time
   ++tombstones_;
+  PW_COUNT(kSchedulerEventsCancelled);
+  PW_GAUGE_MAX(kSchedulerTombstonesPeak, tombstones_);
   // Pop-time reclamation alone can't bound memory when cancelled events
   // sit far in the future (schedule/cancel churn never reaches them).
   // Once tombstones dominate, sweep them out in one O(n) pass — amortized
@@ -106,6 +110,7 @@ void Scheduler::cancel(EventId id) {
 }
 
 void Scheduler::compact() {
+  PW_COUNT(kSchedulerCompactions);
   auto live_end = std::remove_if(
       heap_.begin(), heap_.end(), [this](const HeapEntry& e) {
         if (!pool_[e.slot].cancelled) return false;
@@ -137,6 +142,7 @@ bool Scheduler::pop_one(bool bounded, TimePoint limit) {
     release_slot(top.slot);
     now_ = top.at;
     ++executed_;
+    PW_COUNT(kSchedulerEventsExecuted);
 #if PW_AUDIT_ENABLED
     // Audit builds re-verify the full invariant set periodically, so a
     // corruption is caught within kAuditPeriod events of its cause.

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "frames/serializer.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "phy/rates.h"
 #include "sim/radio.h"
 
@@ -59,6 +61,7 @@ std::uint64_t chan_key_of(const Radio& r) {
 Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
     : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {
   ppdu_pool_.set_pooling(config_.pool_ppdus);
+  timeline_group_ = obs::allocate_timeline_group();
   // Cell edge = detection range at the EIRP ceiling on 2.4 GHz (the band
   // with the smaller reference loss, i.e. the longer reach), so one ring
   // of neighbour cells always covers a real frame's detection disc.
@@ -155,6 +158,7 @@ void Medium::index_remove(Radio* radio) {
 void Medium::attach(Radio* radio) {
   radio->attach_order_ = next_attach_order_++;
   radios_.push_back(radio);
+  PW_GAUGE_MAX(kMediumRadiosPeak, radios_.size());
   index_insert(radio);
   maybe_grow_link_cache();
   ++static_epoch_;
@@ -232,9 +236,11 @@ double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
       e.packed == packed && e.mbps == rate.mbps &&
       e.ndbps == rate.bits_per_symbol) {
     ++stats_.fer_cache_hits;
+    PW_COUNT(kMediumFerCacheHits);
     return e.fer;
   }
   ++stats_.fer_cache_misses;
+  PW_COUNT(kMediumFerCacheMisses);
   const double fer = phy::frame_error_rate(rate, sinr_db, octets);
   e = FerMemoEntry{sinr_db, rate.mbps, fer, packed, rate.bits_per_symbol};
   return fer;
@@ -267,10 +273,12 @@ double Medium::link_gain_db(const Radio& tx_radio,
     if (line->key == key && line->tx_version == tx_radio.geometry_version_ &&
         line->rx_version == rx_radio.geometry_version_) {
       ++stats_.link_cache_hits;
+      PW_COUNT(kMediumLinkCacheHits);
       return line->gain_db;
     }
   }
   ++stats_.link_cache_misses;
+  PW_COUNT(kMediumLinkCacheMisses);
   const double gain = raw_link_gain_db(tx_radio, rx_radio);
   if (line != nullptr) {
     *line = LinkBudget{key, tx_radio.geometry_version_,
@@ -442,6 +450,7 @@ void Medium::schedule_batch(std::size_t rec_idx) {
       continue;
     }
     ++stats_.delivery_events;
+    PW_COUNT(kMediumDeliveryEvents);
     scheduler_.schedule_at(rec.deliveries[i].rx_end,
                            [this, rec_idx] { run_batch(rec_idx); });
   }
@@ -479,6 +488,7 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
 
   const std::uint64_t rid = next_reception_id_++;
   ++stats_.receptions;
+  PW_COUNT(kMediumReceptions);
   const bool awake_at_start = !rx_radio->sleeping();
   auto& state = rx_radio->rx_state_;
   state.list.push_back(
@@ -531,6 +541,7 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   const TimePoint end = start + airtime;
 
   ++stats_.transmissions;
+  PW_COUNT(kMediumTransmissions);
 #if PW_AUDIT_ENABLED
   // Audit builds spot-check one sender's cached fan-out per period, so a
   // coherence bug is caught near its cause without O(n^2) per frame.
@@ -571,6 +582,7 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   const auto try_receiver = [&](Radio* rx_radio) {
     if (rx_radio == &sender) return;
     ++stats_.candidates_scanned;
+    PW_COUNT(kMediumFanoutCandidates);
     // A dozing radio missed the preamble; it cannot receive this PPDU no
     // matter what. Skipping it here is both correct and the fast path
     // that lets the 5,000-device city stay cheap.
@@ -619,6 +631,7 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
         try_receiver(*vit++);
       }
       ++stats_.candidates_scanned;
+      PW_COUNT(kMediumFanoutCandidates);
       if (e.radio->sleeping()) continue;
       const double rx_dbm = tx.power_dbm + e.gain_db;
       if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
@@ -743,6 +756,7 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
     Bytes& damaged = damaged_ref.mutable_octets();
     damaged.assign(ppdu.octets().begin(), ppdu.octets().end());
     stats_.ppdu_bytes_copied += damaged.size();
+    PW_COUNT_N(kMediumPpduBytesCopied, damaged.size());
     frames::corrupt(damaged, 3, splitmix(reception_id));
     payload = &damaged;
   }

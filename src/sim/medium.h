@@ -176,6 +176,10 @@ class Medium {
   void on_radio_moved(Radio& radio);
   void on_radio_retuned(Radio& radio);
 
+  /// Timeline pid grouping this medium's radio tracks in a trace (see
+  /// obs/timeline.h). Process-unique, allocated at construction.
+  std::int64_t timeline_group() const { return timeline_group_; }
+
   // --- Engine introspection (tests and the event-engine bench) -------------
 
   struct Stats {
@@ -336,6 +340,7 @@ class Medium {
   std::uint64_t next_reception_id_ = 1;
   std::uint64_t next_radio_id_ = 1;
   std::uint64_t next_attach_order_ = 1;
+  std::int64_t timeline_group_ = 0;
   TraceSink trace_;
   CsiProvider csi_;
   mutable Stats stats_;

@@ -9,6 +9,8 @@ Radio::Radio(Medium& medium, Scheduler& scheduler, RadioConfig config)
       position_(config.position),
       energy_(config.power, scheduler.now()),
       id_(medium.allocate_radio_id()) {
+  energy_.set_timeline_ids(medium.timeline_group(),
+                           static_cast<std::int64_t>(id_));
   energy_.set_state(RadioState::kIdle, scheduler_.now());
   medium_.attach(this);
 }

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace politewifi::sim {
 
 unsigned SweepRunner::default_threads() {
@@ -33,6 +35,8 @@ void SweepRunner::for_each_index(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
+        PW_COUNT(kSweepJobs);
+        PW_TIMEIT(kSweepJobWallNs, "sweep_job");
         job(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);

@@ -19,9 +19,20 @@ Rules:
   - A bench present in the baseline but missing from the fresh run fails
     (a silently-skipped bench is how regressions hide); a new bench with
     no baseline is reported and passes.
+  - With --metrics, the "metrics" block a bench may embed (the obs/
+    registry harvested over a fixed-size pass, see OBSERVABILITY.md) is
+    also gated: efficiency rates derived from counter pairs (cache
+    hits/misses, pool reuses/allocations) must not drop more than
+    --metrics-threshold percentage points below the baseline, and
+    drift-gated counters (e.g. ppdu_bytes_copied, which the harvest pass
+    pins to a deterministic value) must not creep upward past the
+    threshold — or past zero when the baseline is zero. Pairs whose
+    baseline denominator is zero — a PW_METRICS=OFF build writes
+    all-zero blocks — are skipped as "no data", never failed.
 
 Usage:
   python3 tools/bench_compare.py BASELINE_DIR FRESH_DIR [--threshold 0.15]
+                                 [--metrics] [--metrics-threshold 0.10]
 """
 
 from __future__ import annotations
@@ -34,6 +45,24 @@ from pathlib import Path
 GATED_SUFFIXES = ("_per_sec",)
 GATED_EXACT = {"events_per_sec", "sim_wall_ratio", "frames_per_sec"}
 COUNTER_SUFFIXES = ("_allocations",)
+
+# --metrics mode: efficiency rates derived from obs/ counter pairs.
+# rate = good / (good + bad); a pair with good + bad == 0 in the baseline
+# carries no data (metrics compiled out) and is skipped.
+METRIC_RATE_PAIRS = (
+    ("fer_cache_hit_rate",
+     "sim.medium.fer_cache_hits", "sim.medium.fer_cache_misses"),
+    ("link_cache_hit_rate",
+     "sim.medium.link_cache_hits", "sim.medium.link_cache_misses"),
+    ("ppdu_pool_reuse_rate",
+     "sim.ppdu_pool.reuses", "sim.ppdu_pool.allocations"),
+)
+
+# --metrics mode: counters gated against upward drift. The harvest pass
+# is deterministic (fixed sizes, fixed seeds), so on unchanged code the
+# fresh value equals the baseline exactly; growth past the threshold —
+# or past zero when the baseline is zero — is a copy/leak regression.
+METRIC_DRIFT_COUNTERS = ("sim.medium.ppdu_bytes_copied",)
 
 
 def load_dir(path: Path) -> dict[str, dict]:
@@ -56,12 +85,56 @@ def is_counter(key: str) -> bool:
     return key.endswith(COUNTER_SUFFIXES)
 
 
+def compare_metrics(name: str, base: dict, cur: dict, threshold_pp: float,
+                    failures: list[str]) -> None:
+    """Gates one bench's embedded obs/ metrics block against the baseline."""
+    base_counters = base.get("counters", {})
+    cur_counters = cur.get("counters", {})
+    for label, good, bad in METRIC_RATE_PAIRS:
+        base_total = base_counters.get(good, 0) + base_counters.get(bad, 0)
+        cur_total = cur_counters.get(good, 0) + cur_counters.get(bad, 0)
+        if base_total == 0 or cur_total == 0:
+            print(f"  skip {name}.metrics.{label}: no data "
+                  f"(metrics compiled out?)")
+            continue
+        base_rate = base_counters.get(good, 0) / base_total
+        cur_rate = cur_counters.get(good, 0) / cur_total
+        drop = base_rate - cur_rate
+        status = "OK"
+        if drop > threshold_pp:
+            status = "FAIL"
+            failures.append(
+                f"{name}.metrics.{label}: {base_rate:.1%} -> {cur_rate:.1%} "
+                f"(dropped {drop:.1%}, limit {threshold_pp:.0%} points)")
+        print(f"  {status:4s} {name}.metrics.{label}: "
+              f"{base_rate:.1%} -> {cur_rate:.1%}")
+    for key in METRIC_DRIFT_COUNTERS:
+        base_v = base_counters.get(key)
+        cur_v = cur_counters.get(key)
+        if base_v is None or cur_v is None:
+            continue
+        drifted = (cur_v > 0) if base_v == 0 \
+            else (cur_v > base_v * (1 + threshold_pp))
+        status = "OK"
+        if drifted:
+            status = "FAIL"
+            failures.append(
+                f"{name}.metrics.{key}: {base_v} -> {cur_v} "
+                f"(counter drifted upward)")
+        print(f"  {status:4s} {name}.metrics.{key}: {base_v} -> {cur_v}")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline_dir", type=Path)
     ap.add_argument("fresh_dir", type=Path)
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--metrics", action="store_true",
+                    help="also gate embedded obs/ metrics blocks")
+    ap.add_argument("--metrics-threshold", type=float, default=0.10,
+                    help="allowed hit/reuse-rate drop in percentage "
+                         "points (default 0.10)")
     args = ap.parse_args()
 
     baseline = load_dir(args.baseline_dir)
@@ -103,6 +176,10 @@ def main() -> int:
                       f"{cur_v:.0f}")
             else:
                 print(f"  info {name}.{key}: {base_v:g} -> {cur_v:g}")
+        if args.metrics and isinstance(base.get("metrics"), dict) \
+                and isinstance(cur.get("metrics"), dict):
+            compare_metrics(name, base["metrics"], cur["metrics"],
+                            args.metrics_threshold, failures)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  new  {name}: no baseline yet (commit its BENCH json)")
 

@@ -43,6 +43,13 @@ CI rather than by review vigilance:
                         (seeded from the run seed), so hand-constructed
                         simulations — and with them wall-clock or ad-hoc
                         seeds — can't sneak back into the suite.
+  direct-timing         std::chrono::steady_clock reads in the
+                        instrumented layers (src/sim, src/mac, src/phy,
+                        src/runtime): timing there routes through
+                        PW_TIMEIT / obs::ScopedTimer so it lands in the
+                        metrics registry and the timeline profiler, and
+                        compiles out with -DPW_METRICS=OFF. src/obs is
+                        the one place allowed to read the clock.
 
 Violations can be acknowledged in tools/pw_lint_allowlist.txt as
 `path:rule  # justification` (the justification is mandatory), or
@@ -74,6 +81,10 @@ BY_VALUE_DIRS = ("src/sim", "src/frames")
 # RunContext::make_sim, never by naming the Simulation type themselves.
 EXPERIMENT_DIRS = ("src/runtime/experiments",)
 
+# Layers instrumented by obs/: ad-hoc steady_clock reads there bypass
+# the metrics registry and the PW_METRICS=OFF compile gate.
+INSTRUMENTED_DIRS = ("src/sim", "src/mac", "src/phy", "src/runtime")
+
 # Linted roots for a no-argument run.
 LINT_ROOTS = ("src", "examples")
 
@@ -98,6 +109,9 @@ UNORDERED_ALIAS_RE = re.compile(
 )
 INLINE_ALLOW_RE = re.compile(r"//\s*pw-lint:\s*allow\((\s*[\w-]+\s*)\)")
 RAW_SIM_RE = re.compile(r"\bsim::Simulation\b|\bSimulationConfig\b")
+# Clock *reads*, not duration math: duration_cast and chrono literals stay
+# legal everywhere; naming steady_clock is what this rule fences off.
+DIRECT_TIMING_RE = re.compile(r"\bsteady_clock\b")
 # A by-value octet-buffer parameter: `Bytes name` (no &/&&) directly after
 # an opening paren or comma, or starting a continuation line of a wrapped
 # signature. Matches parameters, not declarations (`Bytes x;`) or
@@ -220,6 +234,7 @@ class Linter:
         hot = rel.startswith(HOT_PATH_DIRS)
         zero_copy = rel.startswith(BY_VALUE_DIRS)
         experiment = rel.startswith(EXPERIMENT_DIRS)
+        instrumented = rel.startswith(INSTRUMENTED_DIRS)
 
         # Track "inside a derived class" with a brace-depth heuristic good
         # enough for this codebase's one-class-per-header style.
@@ -250,6 +265,12 @@ class Linter:
                 self.report(path, lineno, "raw-new",
                             "raw new/delete in a sim hot path; pool it or "
                             "hold it by value", raw)
+            if instrumented and DIRECT_TIMING_RE.search(line):
+                self.report(path, lineno, "direct-timing",
+                            "direct steady_clock read in an instrumented "
+                            "layer; route timing through PW_TIMEIT "
+                            "(obs/metrics.h) so it reaches the registry "
+                            "and compiles out with PW_METRICS=OFF", raw)
             if experiment and RAW_SIM_RE.search(line):
                 self.report(path, lineno, "raw-sim-construction",
                             "experiments build simulations through "
