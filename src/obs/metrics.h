@@ -67,6 +67,8 @@ namespace politewifi::obs {
     "link-budget memo hits")                                                  \
   X(kMediumLinkCacheMisses, "sim.medium.link_cache_misses", "lookups",        \
     "link-budget memo misses (full path-loss + shadowing recompute)")         \
+  X(kMediumLinkCacheEvictions, "sim.medium.link_cache_evictions", "lines",    \
+    "valid link-cache lines overwritten by a colliding link (thrash)")        \
   X(kMediumFerCacheHits, "sim.medium.fer_cache_hits", "lookups",              \
     "frame-error-rate memo hits")                                             \
   X(kMediumFerCacheMisses, "sim.medium.fer_cache_misses", "lookups",          \
@@ -101,7 +103,10 @@ namespace politewifi::obs {
   X(kSchedulerTombstonesPeak, "sim.scheduler.tombstones_peak", "events",      \
     "peak cancelled-but-unreclaimed events in the heap")                      \
   X(kMediumRadiosPeak, "sim.medium.radios_peak", "radios",                    \
-    "peak radios attached to one medium")
+    "peak radios attached to one medium")                                     \
+  X(kMediumLinkCacheGeneration, "sim.medium.link_cache_generation",           \
+    "generations",                                                            \
+    "link/FER cache (re)allocations — growth drops the old contents")
 
 enum class Counter : std::uint16_t {
 #define PW_OBS_X(sym, name, unit, desc) sym,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "phy/rates.h"
 
@@ -19,6 +20,18 @@ double bit_error_rate(PhyRate rate, double snr_db);
 /// Frame error rate for `mpdu_octets` at `rate` and `snr_db`:
 /// 1 - (1 - BER)^(8 * octets).
 double frame_error_rate(PhyRate rate, double snr_db, std::size_t mpdu_octets);
+
+/// Batched FER: `fer_out[i]` = frame_error_rate(rate, snr_db[i],
+/// mpdu_octets), bit-for-bit. The per-rate curve constants are hoisted
+/// out of the loop (they are pure functions of `rate`, evaluated with
+/// the scalar path's exact expressions), so the loop body is the
+/// branch-light erfc/pow chain the compiler can vectorize — this is the
+/// entry point the medium's SoA fan-out pass feeds a whole
+/// transmission's receivers through. `fer_out.size()` must equal
+/// `snr_db.size()`.
+void frame_error_rate_batch(PhyRate rate, std::span<const double> snr_db,
+                            std::size_t mpdu_octets,
+                            std::span<double> fer_out);
 
 /// Receive sensitivity: below this SNR the preamble is undetectable and
 /// the frame is not received at all (as opposed to received-with-errors).

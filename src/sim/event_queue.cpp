@@ -105,8 +105,12 @@ void Scheduler::cancel(EventId id) {
   // Pop-time reclamation alone can't bound memory when cancelled events
   // sit far in the future (schedule/cancel churn never reaches them).
   // Once tombstones dominate, sweep them out in one O(n) pass — amortized
-  // O(1) per cancel.
-  if (tombstones_ > heap_.size() / 2 && heap_.size() >= 64) compact();
+  // O(1) per cancel. `tombstones_peak` is the trigger's witness: under
+  // any cancel churn it stays within a factor of the live event count.
+  if (config_.compact_tombstones && tombstones_ > heap_.size() / 2 &&
+      heap_.size() >= 64) {
+    compact();
+  }
 }
 
 void Scheduler::compact() {

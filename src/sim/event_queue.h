@@ -28,10 +28,25 @@
 
 namespace politewifi::sim {
 
+struct SchedulerConfig {
+  /// Sweep tombstones out of the heap in one O(n) pass whenever they
+  /// outnumber live events (amortized O(1) per cancel). Off = pop-time
+  /// reclamation only, the pre-compaction behaviour: cancelled events
+  /// parked far in the future are never reclaimed, so heap and pool grow
+  /// with cancel churn. Compaction only recycles storage — event
+  /// execution order is identical either way (EventIds are opaque and
+  /// slot reuse is invisible to callers), which
+  /// SchedulerPool.CompactionTogglePreservesOutcome property-tests.
+  bool compact_tombstones = true;
+};
+
 class Scheduler {
  public:
   using EventId = std::uint64_t;
   using Callback = SmallFn;
+
+  Scheduler() = default;
+  explicit Scheduler(SchedulerConfig config) : config_(config) {}
 
   TimePoint now() const { return now_; }
 
@@ -121,6 +136,7 @@ class Scheduler {
   /// any tombstones on the way. Returns false if none qualifies.
   bool pop_one(bool bounded, TimePoint limit);
 
+  SchedulerConfig config_;
   TimePoint now_ = kSimStart;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -217,8 +217,13 @@ void Medium::maybe_grow_link_cache() {
   if (want <= link_cache_.size()) return;
   link_cache_.assign(want, LinkBudget{});  // key 0 = empty line
   link_cache_mask_ = want - 1;
+  link_cache_mru_.assign(want / 2, 0);  // one MRU bit per 2-line set
   fer_cache_.assign(want, FerMemoEntry{});  // sinr_db NaN = empty line
   fer_cache_mask_ = want - 1;
+  // Growth drops the old contents; the generation gauge makes a cache
+  // that keeps reallocating (and therefore keeps missing) visible.
+  ++stats_.link_cache_generation;
+  PW_GAUGE_MAX(kMediumLinkCacheGeneration, stats_.link_cache_generation);
 }
 
 double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
@@ -241,20 +246,43 @@ double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
   }
   ++stats_.fer_cache_misses;
   PW_COUNT(kMediumFerCacheMisses);
-  const double fer = phy::frame_error_rate(rate, sinr_db, octets);
+  // The memo's one sanctioned scalar call: the miss path of the
+  // off-switch/interference route, never a per-receiver loop.
+  const double fer =
+      phy::frame_error_rate(rate, sinr_db, octets);  // pw-lint: allow(scalar-fer-in-fanout)
   e = FerMemoEntry{sinr_db, rate.mbps, fer, packed, rate.bits_per_symbol};
   return fer;
 }
 
-double Medium::raw_link_gain_db(const Radio& tx_radio,
-                                const Radio& rx_radio) const {
+double Medium::ref_loss_db_for(double frequency_hz) const {
+  for (const RefLossMemo& m : ref_loss_memo_) {
+    if (m.freq_hz == frequency_hz && m.freq_hz != 0.0) return m.ref_loss_db;
+  }
+  // Computed with the model itself, so the memoized value is the exact
+  // double a per-call LogDistancePathLoss construction used to produce.
   const phy::LogDistancePathLoss model(
       {.exponent = config_.path_loss_exponent,
        .reference_m = 1.0,
        .shadowing_sigma_db = 0.0},
-      tx_radio.frequency_hz());
-  const double d = distance(tx_radio.position(), rx_radio.position());
-  return -model.loss_db(d) + link_shadowing_db(tx_radio, rx_radio);
+      frequency_hz);
+  const double ref = model.reference_loss_db();
+  ref_loss_memo_[ref_loss_memo_next_++ & 7] = RefLossMemo{frequency_hz, ref};
+  return ref;
+}
+
+double Medium::raw_link_gain_db(const Radio& tx_radio,
+                                const Radio& rx_radio) const {
+  // Inlined LogDistancePathLoss::loss_db (reference_m = 1.0, no rng)
+  // with the reference-loss term memoized per frequency: expression and
+  // evaluation order match the model exactly, so this is bit-identical
+  // to constructing the model per call — the coherence auditor and the
+  // LinkBudget contract test both depend on that.
+  const double ref = ref_loss_db_for(tx_radio.frequency_hz());
+  const double d =
+      std::max(distance(tx_radio.position(), rx_radio.position()), 0.1);
+  const double loss =
+      ref + 10.0 * config_.path_loss_exponent * std::log10(d / 1.0);
+  return -std::max(loss, 0.0) + link_shadowing_db(tx_radio, rx_radio);
 }
 
 double Medium::link_gain_db(const Radio& tx_radio,
@@ -268,21 +296,54 @@ double Medium::link_gain_db(const Radio& tx_radio,
                          rx_radio.id() < (1ULL << 32);
   const std::uint64_t key = (tx_radio.id() << 32) | rx_radio.id();
   LinkBudget* line = nullptr;
+  std::uint8_t* mru = nullptr;
+  std::uint8_t victim_way = 0;
   if (cacheable) {
-    line = &link_cache_[splitmix(key) & link_cache_mask_];
-    if (line->key == key && line->tx_version == tx_radio.geometry_version_ &&
-        line->rx_version == rx_radio.geometry_version_) {
-      ++stats_.link_cache_hits;
-      PW_COUNT(kMediumLinkCacheHits);
-      return line->gain_db;
+    const std::uint64_t h = splitmix(key);
+    if (config_.link_cache_assoc) {
+      // 2-way set: lines 2s and 2s+1 of set s. Probe the MRU way first
+      // (the likelier hit), then the other; a miss fills the LRU way, so
+      // two live links sharing a set coexist instead of evicting each
+      // other on every alternation — the thrash the direct-mapped layout
+      // shows on scattered fan-out keys.
+      const std::size_t set = h & (link_cache_mask_ >> 1);
+      mru = &link_cache_mru_[set];
+      for (int probe = 0; probe < 2; ++probe) {
+        const std::uint8_t way = probe == 0 ? *mru : (*mru ^ 1u);
+        LinkBudget* cand = &link_cache_[set * 2 + way];
+        if (cand->key == key &&
+            cand->tx_version == tx_radio.geometry_version_ &&
+            cand->rx_version == rx_radio.geometry_version_) {
+          *mru = way;
+          ++stats_.link_cache_hits;
+          PW_COUNT(kMediumLinkCacheHits);
+          return cand->gain_db;
+        }
+      }
+      victim_way = *mru ^ 1u;
+      line = &link_cache_[set * 2 + victim_way];
+    } else {
+      line = &link_cache_[h & link_cache_mask_];
+      if (line->key == key && line->tx_version == tx_radio.geometry_version_ &&
+          line->rx_version == rx_radio.geometry_version_) {
+        ++stats_.link_cache_hits;
+        PW_COUNT(kMediumLinkCacheHits);
+        return line->gain_db;
+      }
     }
   }
   ++stats_.link_cache_misses;
   PW_COUNT(kMediumLinkCacheMisses);
   const double gain = raw_link_gain_db(tx_radio, rx_radio);
   if (line != nullptr) {
+    if (line->key != 0 && line->key != key) {
+      // A different link owned this line: that's thrash, not cold fill.
+      ++stats_.link_cache_evictions;
+      PW_COUNT(kMediumLinkCacheEvictions);
+    }
     *line = LinkBudget{key, tx_radio.geometry_version_,
                        rx_radio.geometry_version_, gain};
+    if (mru != nullptr) *mru = victim_way;
   }
   return gain;
 }
@@ -401,6 +462,47 @@ void Medium::build_neighbor_list(Radio& sender, double tx_power_dbm) {
     sender.neighbors_.push_back(NeighborEntry{rx, gain, rx->attach_order_});
   }
   std::swap(candidates, scratch_);
+  if (config_.soa_fanout) {
+    // SoA lanes: everything the fan-out and batch pass would recompute
+    // per entry, evaluated once here with the exact expressions the
+    // scalar path uses (the same gain sum, the same dbm_to_mw, the same
+    // propagation-delay truncation), so a lane replay is bit-identical
+    // to recomputing. Entries are static radios and the list dies on any
+    // geometry change (epoch/version checks), so the lanes cannot go
+    // stale without the list going stale with them.
+    const std::size_t n = sender.neighbors_.size();
+    sender.nb_rx_dbm_.resize(n);
+    sender.nb_rx_mw_.resize(n);
+    sender.nb_prop_ns_.resize(n);
+    sender.nb_arrival_rank_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NeighborEntry& e = sender.neighbors_[i];
+      const double rx_dbm = tx_power_dbm + e.gain_db;
+      sender.nb_rx_dbm_[i] = rx_dbm;
+      sender.nb_rx_mw_[i] = dbm_to_mw(rx_dbm);
+      std::int64_t prop_ns = 0;
+      if (config_.model_propagation_delay) {
+        const double d = distance(sender.position(), e.radio->position());
+        prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
+      }
+      sender.nb_prop_ns_[i] = prop_ns;
+      sender.nb_arrival_rank_[i] = static_cast<std::uint32_t>(i);
+    }
+    // Arrival permutation: delivery events fire in (arrival time, push
+    // order). rx_end = tx_end + prop, so sorting ranks by the delay lane
+    // (stable: index breaks ties) precomputes the finalize order of any
+    // full-list replay.
+    std::stable_sort(sender.nb_arrival_rank_.begin(),
+                     sender.nb_arrival_rank_.end(),
+                     [&sender](std::uint32_t a, std::uint32_t b) {
+                       return sender.nb_prop_ns_[a] < sender.nb_prop_ns_[b];
+                     });
+  } else {
+    sender.nb_rx_dbm_.clear();
+    sender.nb_rx_mw_.clear();
+    sender.nb_prop_ns_.clear();
+    sender.nb_arrival_rank_.clear();
+  }
   sender.nb_epoch_ = static_epoch_;
   sender.nb_self_version_ = sender.geometry_version_;
   sender.nb_power_dbm_ = tx_power_dbm;
@@ -421,37 +523,133 @@ void Medium::release_record(std::size_t rec_idx) {
   rec.ppdu.reset();
   rec.sender = nullptr;
   rec.deliveries.clear();  // keeps capacity for the record's next life
+  rec.order.clear();
   rec.next = 0;
   rec.live = false;
   free_records_.push_back(rec_idx);
 }
 
-void Medium::schedule_batch(std::size_t rec_idx) {
-  TransmissionRecord& rec = *records_[rec_idx];
-  // Stable sort by arrival: ties keep fan-out order, which is exactly the
-  // order the legacy per-receiver events finalized in (the scheduler is
-  // FIFO within a timestamp). Insertion sort, not std::stable_sort: the
-  // latter allocates a merge buffer per call, and the list is short and
-  // already nearly sorted (arrival time grows with distance, and fan-out
-  // visits cells near-to-far-ish), so this stays in place and cheap.
-  for (std::size_t i = 1; i < rec.deliveries.size(); ++i) {
-    PendingDelivery d = rec.deliveries[i];
-    std::size_t j = i;
-    for (; j > 0 && d.rx_end < rec.deliveries[j - 1].rx_end; --j) {
-      rec.deliveries[j] = rec.deliveries[j - 1];
+void Medium::batched_frame_error_rates(const phy::PhyRate& rate,
+                                       std::size_t octets,
+                                       std::span<const double> sinr_db,
+                                       std::span<double> fer_out) const {
+  const std::uint32_t packed =
+      (std::uint32_t(octets) << 1) |
+      (rate.modulation == phy::Modulation::kDsss ? 1u : 0u);
+  const std::uint64_t rate_bits = std::bit_cast<std::uint64_t>(rate.mbps);
+  const auto line_of = [&](double sinr) -> FerMemoEntry& {
+    const std::uint64_t h =
+        splitmix(std::bit_cast<std::uint64_t>(sinr) ^
+                 (std::uint64_t(packed) << 32) ^ rate_bits);
+    return fer_cache_[h & fer_cache_mask_];
+  };
+  // Pass 1: probe the memo, gather the misses into dense miss lanes.
+  batch_miss_idx_scratch_.clear();
+  batch_miss_snr_scratch_.clear();
+  for (std::size_t i = 0; i < sinr_db.size(); ++i) {
+    const FerMemoEntry& e = line_of(sinr_db[i]);
+    if (std::bit_cast<std::uint64_t>(e.sinr_db) ==
+            std::bit_cast<std::uint64_t>(sinr_db[i]) &&
+        e.packed == packed && e.mbps == rate.mbps &&
+        e.ndbps == rate.bits_per_symbol) {
+      ++stats_.fer_cache_hits;
+      PW_COUNT(kMediumFerCacheHits);
+      fer_out[i] = e.fer;
+      continue;
     }
-    rec.deliveries[j] = d;
+    ++stats_.fer_cache_misses;
+    PW_COUNT(kMediumFerCacheMisses);
+    batch_miss_idx_scratch_.push_back(static_cast<std::uint32_t>(i));
+    batch_miss_snr_scratch_.push_back(sinr_db[i]);
+  }
+  if (batch_miss_idx_scratch_.empty()) return;
+  // Pass 2: one batched PHY evaluation over the misses (element-for-
+  // element identical to scalar phy::frame_error_rate), scattered back
+  // and memoized in index order — the insertion sequence a scalar loop
+  // would have produced, so line-collision outcomes match too.
+  batch_miss_fer_scratch_.resize(batch_miss_idx_scratch_.size());
+  phy::frame_error_rate_batch(rate, batch_miss_snr_scratch_, octets,
+                              batch_miss_fer_scratch_);
+  for (std::size_t k = 0; k < batch_miss_idx_scratch_.size(); ++k) {
+    const std::size_t i = batch_miss_idx_scratch_[k];
+    const double fer = batch_miss_fer_scratch_[k];
+    fer_out[i] = fer;
+    line_of(sinr_db[i]) = FerMemoEntry{sinr_db[i], rate.mbps, fer, packed,
+                                       rate.bits_per_symbol};
+  }
+}
+
+void Medium::batch_fer_pass(TransmissionRecord& rec) const {
+  // One vectorizable subtract lane for the no-interference SINR of every
+  // queued delivery, then every FER through the memo + the batched PHY
+  // entry point. finalize_reception consumes the precomputed value only
+  // when its interference sum is zero — exactly when the SINR it would
+  // compute is the one evaluated here.
+  const std::size_t n = rec.deliveries.size();
+  batch_sinr_scratch_.resize(n);
+  batch_fer_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_sinr_scratch_[i] = rec.deliveries[i].power_dbm - noise_floor_dbm_;
+  }
+  batched_frame_error_rates(rec.tx.rate, rec.ppdu.size(), batch_sinr_scratch_,
+                            batch_fer_scratch_);
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.deliveries[i].fer = batch_fer_scratch_[i];
+  }
+}
+
+void Medium::schedule_batch(std::size_t rec_idx, const Radio& sender,
+                            std::size_t lane_pushes) {
+  TransmissionRecord& rec = *records_[rec_idx];
+  const std::size_t n = rec.deliveries.size();
+  if (!config_.soa_fanout) {
+    // Stable sort by arrival: ties keep fan-out order, which is exactly
+    // the order the legacy per-receiver events finalized in (the
+    // scheduler is FIFO within a timestamp). Insertion sort, not
+    // std::stable_sort: the latter allocates a merge buffer per call,
+    // and the list is short and already nearly sorted (arrival time
+    // grows with distance, and fan-out visits cells near-to-far-ish),
+    // so this stays in place and cheap.
+    for (std::size_t i = 1; i < n; ++i) {
+      PendingDelivery d = rec.deliveries[i];
+      std::size_t j = i;
+      for (; j > 0 && d.rx_end < rec.deliveries[j - 1].rx_end; --j) {
+        rec.deliveries[j] = rec.deliveries[j - 1];
+      }
+      rec.deliveries[j] = d;
+    }
+  } else if (lane_pushes == n && !sender.volatile_ &&
+             n == sender.neighbors_.size()) {
+    // Pure lane replay: every delivery is neighbor i in list order, so
+    // the arrival permutation was already computed when the lanes were
+    // built. Copied, not referenced — the sender's list can be rebuilt
+    // while this record is still in flight.
+    rec.order.assign(sender.nb_arrival_rank_.begin(),
+                     sender.nb_arrival_rank_.end());
+  } else {
+    // Mixed fan-out (volatile interleaves, sleepers, quieter frame):
+    // sort indices instead of shuffling 56-byte deliveries in place.
+    rec.order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.order[i] = static_cast<std::uint32_t>(i);
+    }
+    std::stable_sort(rec.order.begin(), rec.order.end(),
+                     [&rec](std::uint32_t a, std::uint32_t b) {
+                       return rec.deliveries[a].rx_end <
+                              rec.deliveries[b].rx_end;
+                     });
   }
   // All group events are scheduled here, inside the transmit() call, so
   // their sequence numbers occupy the same window the per-receiver events
-  // did — event order stays byte-identical across the toggle.
-  for (std::size_t i = 0; i < rec.deliveries.size(); ++i) {
-    if (i > 0 && rec.deliveries[i].rx_end == rec.deliveries[i - 1].rx_end) {
-      continue;
-    }
+  // did — event order stays byte-identical across the toggles.
+  const auto arrival = [&rec](std::size_t k) -> const PendingDelivery& {
+    return rec.order.empty() ? rec.deliveries[k] : rec.deliveries[rec.order[k]];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && arrival(i).rx_end == arrival(i - 1).rx_end) continue;
     ++stats_.delivery_events;
     PW_COUNT(kMediumDeliveryEvents);
-    scheduler_.schedule_at(rec.deliveries[i].rx_end,
+    scheduler_.schedule_at(arrival(i).rx_end,
                            [this, rec_idx] { run_batch(rec_idx); });
   }
 }
@@ -463,25 +661,35 @@ void Medium::run_batch(std::size_t rec_idx) {
   TransmissionRecord& rec = *records_[rec_idx];
   PW_DCHECK(rec.live, "batch delivery fired on a released record");
   const TimePoint now = scheduler_.now();
-  while (rec.next < rec.deliveries.size() &&
-         rec.deliveries[rec.next].rx_end == now) {
-    const PendingDelivery d = rec.deliveries[rec.next++];
+  const std::size_t n = rec.deliveries.size();
+  while (rec.next < n) {
+    const std::size_t k = rec.order.empty() ? rec.next : rec.order[rec.next];
+    if (rec.deliveries[k].rx_end != now) break;
+    const PendingDelivery d = rec.deliveries[k];
+    ++rec.next;
     finalize_reception(d.radio, d.reception_id, rec.ppdu, rec.tx, d.rx_start,
-                       d.rx_end, d.power_dbm, d.awake_at_start, rec.sender);
+                       d.rx_end, d.power_dbm, d.awake_at_start, rec.sender,
+                       d.fer);
   }
-  if (rec.next == rec.deliveries.size()) release_record(rec_idx);
+  if (rec.next == n) release_record(rec_idx);
 }
 
 void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
                              std::size_t rec_idx, const frames::PpduRef& ppdu,
                              const phy::TxVector& tx, TimePoint start,
-                             TimePoint end) {
+                             TimePoint end, double rx_mw,
+                             std::int64_t prop_ns) {
   // Finite-speed-of-light arrival: the PPDU occupies [start+d/c, end+d/c]
-  // at this receiver.
+  // at this receiver. The lane-replay caller hands in the delay it
+  // precomputed with this exact expression; everyone else computes it
+  // here.
   Duration prop = Duration::zero();
   if (config_.model_propagation_delay) {
-    const double d = distance(sender.position(), rx_radio->position());
-    prop = nanoseconds(static_cast<std::int64_t>(d / kSpeedOfLight * 1e9));
+    if (prop_ns < 0) {
+      const double d = distance(sender.position(), rx_radio->position());
+      prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
+    }
+    prop = nanoseconds(prop_ns);
   }
   const TimePoint rx_start = start + prop;
   const TimePoint rx_end = end + prop;
@@ -492,8 +700,8 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
   const bool awake_at_start = !rx_radio->sleeping();
   auto& state = rx_radio->rx_state_;
   state.list.push_back(
-      Reception{rid, rx_start, rx_end, rx_dbm, dbm_to_mw(rx_dbm),
-                awake_at_start});
+      Reception{rid, rx_start, rx_end, rx_dbm,
+                rx_mw >= 0.0 ? rx_mw : dbm_to_mw(rx_dbm), awake_at_start});
   // Amortized prune: sweep the list when it doubles, not on every push.
   if (state.list.size() >= state.prune_at) {
     prune(state.list);
@@ -597,6 +805,11 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
                     end);
   };
 
+  // Deliveries pushed straight off the sender's SoA lanes (schedule_batch
+  // reuses the precomputed arrival permutation when the whole fan-out was
+  // a lane replay).
+  std::size_t lane_pushes = 0;
+
   const auto fan_out = [&] {
     if (!config_.use_spatial_index) {
       for (Radio* rx_radio : radios_) try_receiver(rx_radio);
@@ -624,15 +837,34 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
         tx.power_dbm > sender.nb_power_dbm_) {
       build_neighbor_list(sender, tx.power_dbm);
     }
+    // Lane replay is valid only for the exact power the lanes were built
+    // at: every lane double was computed from that power, and every list
+    // entry already cleared the detection threshold there.
+    const bool lane_replay = config_.soa_fanout && rec_idx != kNoRecord &&
+                             tx.power_dbm == sender.nb_power_dbm_;
     auto vit = volatile_radios_.begin();
     const auto vend = volatile_radios_.end();
-    for (const NeighborEntry& e : sender.neighbors_) {
+    const std::size_t nbs = sender.neighbors_.size();
+    for (std::size_t i = 0; i < nbs; ++i) {
+      const NeighborEntry& e = sender.neighbors_[i];
       while (vit != vend && (*vit)->attach_order_ < e.order) {
         try_receiver(*vit++);
       }
       ++stats_.candidates_scanned;
       PW_COUNT(kMediumFanoutCandidates);
       if (e.radio->sleeping()) continue;
+      if (lane_replay) {
+        // Pure loads: precomputed rx power, linear power and propagation
+        // delay. Counts as a link-cache hit — the per-transmitter lanes
+        // are the cache's fan-out-keyed tier.
+        ++stats_.link_cache_hits;
+        PW_COUNT(kMediumLinkCacheHits);
+        begin_reception(sender, e.radio, sender.nb_rx_dbm_[i], rec_idx,
+                        shared_ppdu, tx, start, end, sender.nb_rx_mw_[i],
+                        sender.nb_prop_ns_[i]);
+        ++lane_pushes;
+        continue;
+      }
       const double rx_dbm = tx.power_dbm + e.gain_db;
       if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
       begin_reception(sender, e.radio, rx_dbm, rec_idx, shared_ppdu, tx,
@@ -643,10 +875,14 @@ void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   fan_out();
 
   if (rec_idx != kNoRecord) {
-    if (records_[rec_idx]->deliveries.empty()) {
+    TransmissionRecord& rec = *records_[rec_idx];
+    if (rec.deliveries.empty()) {
       release_record(rec_idx);  // nobody in range; recycle immediately
     } else {
-      schedule_batch(rec_idx);
+      if (config_.soa_fanout && config_.model_frame_errors) {
+        batch_fer_pass(rec);
+      }
+      schedule_batch(rec_idx, sender, lane_pushes);
     }
   }
 }
@@ -699,7 +935,8 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
                                 const frames::PpduRef& ppdu,
                                 const phy::TxVector& tx, TimePoint start,
                                 TimePoint end, double power_dbm,
-                                bool awake_at_start, const Radio* sender) {
+                                bool awake_at_start, const Radio* sender,
+                                double batch_fer) {
   auto& list = receiver->rx_state_.list;
 
   // Settle RX energy state first.
@@ -741,7 +978,15 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
   } else if (sinr_db < phy::kPreambleDetectSnrDb) {
     return;  // not even detectable as a frame
   } else if (config_.model_frame_errors) {
-    const double fer = cached_frame_error_rate(tx.rate, sinr_db, ppdu.size());
+    // The SoA batch pass precomputed the no-interference FER at transmit
+    // time; it is this reception's FER exactly when the interference sum
+    // is zero (then sinr_db above equals the batch's input bit-for-bit).
+    // The Bernoulli draw stays HERE, in delivery order, so the medium
+    // RNG stream is identical with the batch pass on or off.
+    const double fer =
+        batch_fer >= 0.0 && interference_mw == 0.0
+            ? batch_fer
+            : cached_frame_error_rate(tx.rate, sinr_db, ppdu.size());
     if (rng_.bernoulli(fer)) corrupted = true;
   }
 
@@ -840,6 +1085,54 @@ void Medium::audit_radio(const Radio& radio) const {
              static_cast<unsigned long long>(rx->id()));
   }
   PW_CHECK_EQ(i, radio.neighbors_.size());
+
+  // SoA lane coherence: every lane value a replay would load must be
+  // bit-identical to what the scalar path computes from the (already
+  // audited) cached gains, and the arrival permutation must be the
+  // stable (delay, index) sort the scheduler's tie-breaking implies.
+  if (config_.soa_fanout) {
+    const std::size_t n = radio.neighbors_.size();
+    PW_CHECK_EQ(radio.nb_rx_dbm_.size(), n);
+    PW_CHECK_EQ(radio.nb_rx_mw_.size(), n);
+    PW_CHECK_EQ(radio.nb_prop_ns_.size(), n);
+    PW_CHECK_EQ(radio.nb_arrival_rank_.size(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const NeighborEntry& e = radio.neighbors_[k];
+      const double rx_dbm = radio.nb_power_dbm_ + e.gain_db;
+      PW_CHECK(std::bit_cast<std::uint64_t>(radio.nb_rx_dbm_[k]) ==
+                   std::bit_cast<std::uint64_t>(rx_dbm),
+               "rx-power lane %.17g != recomputed %.17g at entry %zu of "
+               "radio %llu",
+               radio.nb_rx_dbm_[k], rx_dbm, k,
+               static_cast<unsigned long long>(radio.id()));
+      PW_CHECK(std::bit_cast<std::uint64_t>(radio.nb_rx_mw_[k]) ==
+                   std::bit_cast<std::uint64_t>(dbm_to_mw(rx_dbm)),
+               "linear-power lane diverges at entry %zu of radio %llu", k,
+               static_cast<unsigned long long>(radio.id()));
+      std::int64_t prop_ns = 0;
+      if (config_.model_propagation_delay) {
+        const double d = distance(radio.position(), e.radio->position());
+        prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
+      }
+      PW_CHECK(radio.nb_prop_ns_[k] == prop_ns,
+               "propagation lane %lld != recomputed %lld at entry %zu of "
+               "radio %llu",
+               static_cast<long long>(radio.nb_prop_ns_[k]),
+               static_cast<long long>(prop_ns), k,
+               static_cast<unsigned long long>(radio.id()));
+    }
+    std::vector<std::uint32_t> want(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      want[k] = static_cast<std::uint32_t>(k);
+    }
+    std::stable_sort(want.begin(), want.end(),
+                     [&radio](std::uint32_t a, std::uint32_t b) {
+                       return radio.nb_prop_ns_[a] < radio.nb_prop_ns_[b];
+                     });
+    PW_CHECK(radio.nb_arrival_rank_ == want,
+             "arrival-rank lane of radio %llu is not the stable delay sort",
+             static_cast<unsigned long long>(radio.id()));
+  }
 }
 
 void Medium::audit_coherence() const {
@@ -952,13 +1245,16 @@ void Medium::audit_coherence() const {
     PW_CHECK(rec.live != is_free[i],
              "record %zu live flag disagrees with the free list", i);
     if (!rec.live) {
-      PW_CHECK(!rec.ppdu && rec.deliveries.empty() && rec.next == 0,
+      PW_CHECK(!rec.ppdu && rec.deliveries.empty() && rec.order.empty() &&
+                   rec.next == 0,
                "released record %zu still pins payload or deliveries", i);
     } else {
       PW_CHECK(static_cast<bool>(rec.ppdu),
                "live record %zu has no payload", i);
       PW_CHECK(rec.next <= rec.deliveries.size(),
                "record %zu delivery cursor out of range", i);
+      PW_CHECK(rec.order.empty() || rec.order.size() == rec.deliveries.size(),
+               "record %zu finalize order is not a full permutation", i);
     }
   }
 }

@@ -16,16 +16,24 @@
 // so the reception set is *exactly* the brute-force one — cell lists are
 // kept in attach order and merged, which keeps event ordering
 // byte-identical without sorting in the fan-out hot path). Per-link
-// budgets are memoized in a position-versioned direct-mapped cache, the
-// PPDU is shared across all receivers of a transmission instead of
-// copied per receiver, and the per-receiver reception lists are pruned
-// amortized (when they double) instead of on every push.
+// budgets are memoized in a position-versioned 2-way set-associative
+// cache and, for a static transmitter, in per-transmitter contiguous
+// SoA lanes (received power, linear power, propagation delay, arrival
+// rank) that a repeated fan-out replays as pure loads; the link-budget
+// and FER math of a whole fan-out runs as one batched struct-of-arrays
+// pass at transmit time while the Bernoulli outcome draws stay at
+// finalize time in delivery order, so the medium RNG stream is
+// bit-identical to the scalar path. The PPDU is shared across all
+// receivers of a transmission instead of copied per receiver, and the
+// per-receiver reception lists are pruned amortized (when they double)
+// instead of on every push.
 #pragma once
 
 #include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +85,22 @@ struct MediumConfig {
   /// cache (serialize once, patch seq/retry in place). Off = a full
   /// serialization per frame; the on-air octets are identical.
   bool frame_templates = true;
+  /// Probe the link-budget memo as a 2-way set-associative cache (LRU
+  /// within each 2-line set) instead of direct-mapped, so two links
+  /// hashing to the same set stop evicting each other on every
+  /// alternation. Off = the direct-mapped reference layout. Pure
+  /// memoization either way: every lookup returns exactly the double a
+  /// fresh recompute would, so behaviour is byte-identical.
+  bool link_cache_assoc = true;
+  /// Replay a static transmitter's cached fan-out through contiguous
+  /// struct-of-arrays lanes (precomputed rx power, linear power,
+  /// propagation delay, arrival rank) and evaluate the fan-out's
+  /// no-interference SINR + FER as one batched vectorizable pass at
+  /// transmit time. Only takes effect with batched_fanout on. Off = the
+  /// scalar per-receiver path; receptions, RNG draw order and every
+  /// station-observable byte are identical (FanoutEquivalence
+  /// property-tests this).
+  bool soa_fanout = true;
 };
 
 /// Record of one on-air PPDU (what a perfect sniffer would log). The
@@ -186,8 +210,18 @@ class Medium {
     std::uint64_t transmissions = 0;       // PPDUs put on the air
     std::uint64_t candidates_scanned = 0;  // radios visited during fan-out
     std::uint64_t receptions = 0;          // receptions actually created
+    /// Link-budget lookups served without a recompute: set-associative
+    /// memo hits plus neighbor-lane replays (the per-transmitter lanes
+    /// ARE the link cache's fan-out-keyed tier).
     std::uint64_t link_cache_hits = 0;
     std::uint64_t link_cache_misses = 0;
+    /// Valid link-cache lines overwritten by a colliding link — the
+    /// thrash signal the set-associative layout exists to suppress.
+    std::uint64_t link_cache_evictions = 0;
+    /// Times the link/FER caches were (re)allocated; growth drops the
+    /// old contents, so a climbing generation under steady state would
+    /// explain a hit-rate collapse.
+    std::uint64_t link_cache_generation = 0;
     std::uint64_t fer_cache_hits = 0;
     std::uint64_t fer_cache_misses = 0;
     /// Payload octets copied after transmit() took ownership — only the
@@ -222,11 +256,12 @@ class Medium {
   friend struct MediumTestPeer;  // corruption-injection tests
 
   static constexpr std::uint64_t kAuditPeriod = 256;
-  /// Memoized directed link budget, one line of the direct-mapped cache.
-  /// `gain_db` is (shadowing − path loss): rx_dbm = tx_dbm + gain_db.
-  /// Valid while `key` matches and both geometry versions match; a
-  /// colliding link simply overwrites the line (no chains, no rehash, no
-  /// wholesale clears — a miss costs one recompute, never a malloc).
+  /// Memoized directed link budget, one cache line. `gain_db` is
+  /// (shadowing − path loss): rx_dbm = tx_dbm + gain_db. Valid while
+  /// `key` matches and both geometry versions match; a colliding link
+  /// overwrites a line (direct-mapped: its only line; set-associative:
+  /// the LRU way of its 2-line set) — no chains, no rehash, no wholesale
+  /// clears, so a miss costs one recompute, never a malloc.
   struct LinkBudget {
     std::uint64_t key;  // (tx_id << 32) | rx_id; 0 = empty (ids start at 1)
     std::uint32_t tx_version;
@@ -242,6 +277,10 @@ class Medium {
     TimePoint rx_start, rx_end;
     double power_dbm;
     bool awake_at_start;  // receiver was awake when the preamble arrived
+    /// No-interference FER precomputed by the SoA batch pass; < 0 when
+    /// not precomputed. finalize_reception may only use it when the
+    /// interference sum is zero (then its SINR equals the batch's).
+    double fer = -1.0;
   };
   /// One in-flight transmission's shared payload plus its delivery list,
   /// recycled through a free list so steady-state fan-out never touches
@@ -252,35 +291,66 @@ class Medium {
     phy::TxVector tx;
     const Radio* sender = nullptr;
     std::vector<PendingDelivery> deliveries;
-    std::size_t next = 0;  // cursor into deliveries (sorted by rx_end)
+    /// Finalize order: indices into `deliveries` sorted by (rx_end,
+    /// push order). Empty when `deliveries` itself was sorted in place
+    /// (the scalar path); then `next` indexes `deliveries` directly.
+    std::vector<std::uint32_t> order;
+    std::size_t next = 0;  // cursor into the finalize order
     bool live = false;
   };
   static constexpr std::size_t kNoRecord = std::size_t(-1);
 
   std::size_t acquire_record();
   void release_record(std::size_t rec_idx);
-  /// Sorts the record's deliveries by arrival time (stable: fan-out order
-  /// breaks ties, matching the legacy per-receiver schedule order) and
-  /// schedules one event per distinct rx_end.
-  void schedule_batch(std::size_t rec_idx);
+  /// Orders the record's deliveries by arrival time (stable: fan-out
+  /// order breaks ties, matching the legacy per-receiver schedule order)
+  /// and schedules one event per distinct rx_end. The scalar path sorts
+  /// `deliveries` in place; the SoA path fills `order` instead — from
+  /// the transmitter's precomputed arrival-rank lane when the fan-out
+  /// was a pure lane replay, by an index sort otherwise. All three
+  /// produce the identical finalize sequence.
+  /// `lane_pushes` = deliveries that came straight off the sender's
+  /// neighbor lanes (kNoRecord-safe: callers pass 0 when unknown).
+  void schedule_batch(std::size_t rec_idx, const Radio& sender,
+                      std::size_t lane_pushes);
   /// Finalizes every pending delivery of `rec_idx` arriving now.
   void run_batch(std::size_t rec_idx);
+
+  /// SoA batch pass: for every queued delivery of `rec`, the
+  /// no-interference SINR (one vectorizable subtract lane) and its FER
+  /// through the memo + the batched PHY entry point, stored on the
+  /// delivery for finalize_reception's zero-interference fast path.
+  void batch_fer_pass(TransmissionRecord& rec) const;
+  /// FER memo probe for a whole batch: hits fill `fer_out` directly,
+  /// misses are gathered and computed through one
+  /// phy::frame_error_rate_batch call, then scattered back and
+  /// memoized. Element-for-element identical to calling
+  /// cached_frame_error_rate in index order.
+  void batched_frame_error_rates(const phy::PhyRate& rate,
+                                 std::size_t octets,
+                                 std::span<const double> sinr_db,
+                                 std::span<double> fer_out) const;
 
   void finalize_reception(Radio* receiver, std::uint64_t reception_id,
                           const frames::PpduRef& ppdu,
                           const phy::TxVector& tx, TimePoint start,
                           TimePoint end, double power_dbm, bool awake_at_start,
-                          const Radio* sender);
+                          const Radio* sender, double batch_fer = -1.0);
   void prune(std::vector<Reception>& list) const;
   /// Starts a reception at `rx_radio`. `rx_dbm` is the received power the
   /// caller already computed and checked against detect_threshold_dbm.
   /// With batched fan-out, the delivery is queued on `rec_idx`; legacy
   /// mode (rec_idx == kNoRecord) schedules a per-receiver event holding
-  /// its own reference to `ppdu`.
+  /// its own reference to `ppdu`. The lane-replay path passes the
+  /// precomputed linear power (`rx_mw`) and propagation delay
+  /// (`prop_ns`); negative sentinels mean "compute here" — the lanes
+  /// hold exactly the doubles this function would compute, so both
+  /// spellings are bit-identical.
   void begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
                        std::size_t rec_idx, const frames::PpduRef& ppdu,
                        const phy::TxVector& tx, TimePoint start,
-                       TimePoint end);
+                       TimePoint end, double rx_mw = -1.0,
+                       std::int64_t prop_ns = -1);
 
   /// Flags a radio as geometry-volatile (it moved or retuned after
   /// attaching): it is dropped from every cached neighbor list and
@@ -297,8 +367,15 @@ class Medium {
   /// The pure link-budget computation (path loss + deterministic
   /// shadowing), bypassing the memo. link_gain_db's miss path and the
   /// coherence auditor both call this, so "cache hit == fresh recompute"
-  /// is checkable bit-for-bit.
+  /// is checkable bit-for-bit. (The frequency → reference-loss term is
+  /// itself memoized — see ref_loss_db_for — with the model's exact
+  /// expression, so the memo is bit-transparent.)
   double raw_link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
+  /// Friis reference loss at 1 m for `frequency_hz`, memoized per
+  /// frequency (a fleet tunes a handful of channels). Evaluates exactly
+  /// LogDistancePathLoss::reference_loss_db, so memoized and fresh
+  /// values are bit-identical.
+  double ref_loss_db_for(double frequency_hz) const;
   /// One sender's slice of audit_coherence: its grid residency and (when
   /// valid) its cached neighbor list vs the brute-force reception set.
   void audit_radio(const Radio& radio) const;
@@ -344,8 +421,14 @@ class Medium {
   TraceSink trace_;
   CsiProvider csi_;
   mutable Stats stats_;
-  mutable std::vector<LinkBudget> link_cache_;  // direct-mapped, pow-2 size
+  /// Link-budget cache lines (power-of-two count). Direct-mapped mode
+  /// indexes hash & mask; set-associative mode treats lines 2s and 2s+1
+  /// as the two ways of set s = hash & (mask >> 1).
+  mutable std::vector<LinkBudget> link_cache_;
   std::uint64_t link_cache_mask_ = 0;
+  /// Per-set MRU way (0 or 1) for the set-associative layout; the miss
+  /// victim is the other way (LRU within the set).
+  mutable std::vector<std::uint8_t> link_cache_mru_;
   /// One line of the FER memo. sinr_db is initialized to NaN, which no
   /// real SINR bit pattern matches (compares are on the raw bits).
   struct FerMemoEntry {
@@ -369,7 +452,23 @@ class Medium {
   };
   mutable RangeMemo range_memo_[8];
   mutable unsigned range_memo_next_ = 0;
+  /// Tiny frequency -> Friis reference-loss memo (see ref_loss_db_for):
+  /// hoists a log10 out of every link-budget recompute.
+  struct RefLossMemo {
+    double freq_hz = 0.0;
+    double ref_loss_db = 0.0;
+  };
+  mutable RefLossMemo ref_loss_memo_[8];
+  mutable unsigned ref_loss_memo_next_ = 0;
   mutable std::vector<Radio*> scratch_;  // fan-out candidate buffer (reused)
+  // SoA batch-pass scratch lanes, reused across transmissions (the pass
+  // runs synchronously inside transmit(), so there is no re-entrancy to
+  // guard against and steady state stays allocation-free).
+  mutable std::vector<double> batch_sinr_scratch_;
+  mutable std::vector<double> batch_fer_scratch_;
+  mutable std::vector<std::uint32_t> batch_miss_idx_scratch_;
+  mutable std::vector<double> batch_miss_snr_scratch_;
+  mutable std::vector<double> batch_miss_fer_scratch_;
 
   /// Declared before records_ so records release their payload references
   /// back into a still-live pool during destruction.

@@ -4,6 +4,7 @@ namespace politewifi::sim {
 
 Simulation::Simulation(SimulationConfig config)
     : config_(config),
+      scheduler_(config.scheduler),
       medium_(scheduler_, config.medium, config.seed),
       rng_(config.seed) {}
 

@@ -12,6 +12,7 @@ namespace politewifi::sim {
 
 struct SimulationConfig {
   MediumConfig medium{};
+  SchedulerConfig scheduler{};
   std::uint64_t seed = 42;
 };
 

@@ -121,6 +121,17 @@ class Radio final : public mac::MacEnvironment {
   /// nb_self_version_ matches geometry_version_, and the transmit power
   /// does not exceed nb_power_dbm_.
   std::vector<NeighborEntry> neighbors_;
+  /// Struct-of-arrays companions to neighbors_ (MediumConfig.soa_fanout):
+  /// per-entry received power at nb_power_dbm_, its linear milliwatt
+  /// value, the propagation delay at the entry's (static) geometry, and
+  /// the arrival-order permutation (entry indices sorted by propagation
+  /// delay, fan-out order breaking ties). Rebuilt with neighbors_; a
+  /// repeated fan-out at the list's power replays these as pure loads —
+  /// no pow, no sqrt, no per-record sort.
+  std::vector<double> nb_rx_dbm_;
+  std::vector<double> nb_rx_mw_;
+  std::vector<std::int64_t> nb_prop_ns_;
+  std::vector<std::uint32_t> nb_arrival_rank_;
   std::uint64_t nb_epoch_ = 0;  // 0 = never built
   std::uint32_t nb_self_version_ = 0;
   double nb_power_dbm_ = 0.0;

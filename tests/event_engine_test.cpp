@@ -2,7 +2,9 @@
 // sweep runner, and the spatial-index/brute-force equivalence property.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <tuple>
@@ -92,6 +94,39 @@ TEST(SchedulerPool, CancelChurnStaysBounded) {
   // The slot pool must be far smaller than the cycle count (one slot per
   // concurrently outstanding event, not per event ever scheduled).
   EXPECT_LT(scheduler.pool_slots(), 10'000u);
+  EXPECT_EQ(scheduler.events_executed(), 0u);
+}
+
+TEST(SchedulerPool, CompactionKeepsTombstonesBelowThreshold) {
+  // 1M schedule+cancel cycles against far-future deadlines. Lazy
+  // reclamation alone would hold every tombstone until its deadline pops;
+  // the threshold sweep (tombstones > heap/2 once the heap reaches 64)
+  // must cap the peak at the trigger point.
+  sim::Scheduler scheduler;  // SchedulerConfig::compact_tombstones is on
+  std::size_t tombstones_peak = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const auto id = scheduler.schedule_in(seconds(5), [] { FAIL(); });
+    scheduler.cancel(id);
+    tombstones_peak = std::max(tombstones_peak, scheduler.tombstones());
+  }
+  EXPECT_LE(tombstones_peak, 64u);
+  scheduler.run_all();
+  EXPECT_EQ(scheduler.events_executed(), 0u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(SchedulerPool, CompactionOffSwitchDisablesTheSweep) {
+  sim::Scheduler scheduler{sim::SchedulerConfig{.compact_tombstones = false}};
+  constexpr std::size_t kCycles = 100'000;
+  for (std::size_t i = 0; i < kCycles; ++i) {
+    const auto id = scheduler.schedule_in(seconds(5), [] { FAIL(); });
+    scheduler.cancel(id);
+  }
+  // Nothing popped yet, so with the sweep off every tombstone is still
+  // sitting in the heap — the behaviour the switch exists to expose.
+  EXPECT_EQ(scheduler.tombstones(), kCycles);
+  scheduler.run_all();
+  EXPECT_EQ(scheduler.tombstones(), 0u);
   EXPECT_EQ(scheduler.events_executed(), 0u);
 }
 
@@ -257,10 +292,12 @@ void drive_scenario(sim::Simulation& sim, std::uint64_t scenario_seed) {
   sim.run_for(milliseconds(50));
 }
 
-Fingerprint run_scenario(std::uint64_t scenario_seed, bool use_spatial_index) {
+Fingerprint run_scenario(std::uint64_t scenario_seed, bool use_spatial_index,
+                         sim::SchedulerConfig sched = {}) {
   sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
   mc.use_spatial_index = use_spatial_index;
-  sim::Simulation sim({.medium = mc, .seed = 7000 + scenario_seed});
+  sim::Simulation sim(
+      {.medium = mc, .scheduler = sched, .seed = 7000 + scenario_seed});
   drive_scenario(sim, scenario_seed);
 
   Fingerprint fp;
@@ -298,6 +335,19 @@ TEST_P(GridEquivalence, IndexedFanOutIsByteIdenticalToBruteForce) {
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, GridEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+TEST(SchedulerPool, CompactionTogglePreservesOutcome) {
+  // Compaction reshuffles heap storage, never logical order: a full
+  // scenario (MAC timers, cancels, retries) must be byte-identical —
+  // station stats, exact energies, and the executed-event count — with
+  // the sweep on and off.
+  for (std::uint64_t seed : {1, 2}) {
+    const Fingerprint swept = run_scenario(seed, true);
+    const Fingerprint lazy =
+        run_scenario(seed, true, {.compact_tombstones = false});
+    EXPECT_EQ(swept, lazy) << "seed " << seed;
+  }
+}
+
 // --- Zero-copy pipeline vs legacy equivalence ---------------------------------
 
 namespace {
@@ -321,12 +371,7 @@ struct PipelineFingerprint {
 };
 
 PipelineFingerprint run_pipeline_scenario(std::uint64_t scenario_seed,
-                                          bool pool, bool batched,
-                                          bool templates) {
-  sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
-  mc.pool_ppdus = pool;
-  mc.batched_fanout = batched;
-  mc.frame_templates = templates;
+                                          sim::MediumConfig mc) {
   sim::Simulation sim({.medium = mc, .seed = 7000 + scenario_seed});
   sim::TraceRecorder recorder;
   recorder.attach(sim.medium());
@@ -345,6 +390,16 @@ PipelineFingerprint run_pipeline_scenario(std::uint64_t scenario_seed,
     fp.trace.emplace_back(e.time, e.sender_name, e.raw);
   }
   return fp;
+}
+
+PipelineFingerprint run_pipeline_scenario(std::uint64_t scenario_seed,
+                                          bool pool, bool batched,
+                                          bool templates) {
+  sim::MediumConfig mc;  // default shadowing_sigma_db = 4.0
+  mc.pool_ppdus = pool;
+  mc.batched_fanout = batched;
+  mc.frame_templates = templates;
+  return run_pipeline_scenario(scenario_seed, mc);
 }
 
 }  // namespace
@@ -380,7 +435,180 @@ TEST_P(PipelineEquivalence, EachOptimizationAloneIsObservablyIdentical) {
       << "batched_fanout alone changed observable behaviour";
   EXPECT_EQ(run_pipeline_scenario(GetParam(), false, false, true), legacy)
       << "frame_templates alone changed observable behaviour";
+
+  // The link-cache layout and the SoA fan-out pass default ON, so here the
+  // off-switch is the variant: flipping each off alone must reproduce the
+  // default configuration bit for bit.
+  const PipelineFingerprint dflt =
+      run_pipeline_scenario(GetParam(), sim::MediumConfig{});
+  sim::MediumConfig mc;
+  mc.link_cache_assoc = false;
+  EXPECT_EQ(run_pipeline_scenario(GetParam(), mc), dflt)
+      << "link_cache_assoc off alone changed observable behaviour";
+  mc = {};
+  mc.soa_fanout = false;
+  EXPECT_EQ(run_pipeline_scenario(GetParam(), mc), dflt)
+      << "soa_fanout off alone changed observable behaviour";
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, PipelineEquivalence,
                          ::testing::Values(1, 2, 3));
+
+// --- Link cache + SoA fan-out equivalence -------------------------------------
+
+namespace {
+
+/// Observable output of a raw-radio fan-out run: exact per-radio energy,
+/// the reception count, and the sniffer stream. Station-less radios have
+/// no MAC stats, but any divergence in delivery order, link budgets, or
+/// the Bernoulli FER draw sequence shows up in one of these.
+struct FanoutFingerprint {
+  std::vector<double> energy_mj;
+  std::uint64_t receptions = 0;
+  std::vector<std::tuple<TimePoint, Bytes>> trace;
+
+  bool operator==(const FanoutFingerprint&) const = default;
+};
+
+/// A dense-cell fan-out workload at population `n`, area scaled to hold
+/// reception density roughly constant: a small pool of repeat
+/// transmitters (the link cache's bread and butter), ~20% sleepers, one
+/// mobile transmitter and a few wandering bystanders (the volatile
+/// interleave path), and a mid-run sleep flip. Frame errors stay ON so
+/// the medium's Bernoulli draw order is part of the fingerprint.
+FanoutFingerprint run_fanout_scenario(std::uint64_t scenario_seed,
+                                      std::size_t n, bool link_cache_assoc,
+                                      bool soa_fanout) {
+  sim::Scheduler scheduler;
+  sim::MediumConfig mc;  // frame errors, shadowing, propagation all ON
+  mc.link_cache_assoc = link_cache_assoc;
+  mc.soa_fanout = soa_fanout;
+  sim::Medium medium(scheduler, mc, /*seed=*/9000 + scenario_seed);
+  sim::TraceRecorder recorder;
+  recorder.attach(medium);
+
+  Rng layout(600 + scenario_seed * 37 + n);
+  const double extent_m = 2000.0 * std::sqrt(double(n) / 5000.0);
+  const std::size_t txers = std::min<std::size_t>(n, 4);
+  std::vector<std::unique_ptr<sim::Radio>> radios;
+  radios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::RadioConfig rc;
+    rc.position = {layout.uniform(-extent_m / 2, extent_m / 2),
+                   layout.uniform(-extent_m / 2, extent_m / 2)};
+    radios.push_back(
+        std::make_unique<sim::Radio>(medium, scheduler, rc));
+    if (i >= txers && layout.bernoulli(0.2)) radios[i]->set_sleeping(true);
+  }
+
+  const Bytes ppdu(64, 0x5A);
+  phy::TxVector tx;
+  for (int round = 0; round < 24; ++round) {
+    // Transmitter 0 stays static (the pure lane-replay path); transmitter
+    // 1 wanders (the volatile per-delivery interleave path).
+    if (txers > 1 && round % 4 == 1) {
+      radios[1]->set_position({layout.uniform(-extent_m / 2, extent_m / 2),
+                               layout.uniform(-extent_m / 2, extent_m / 2)});
+    }
+    // A couple of mobile bystanders invalidate cached links mid-run.
+    if (n > txers && round % 6 == 3) {
+      sim::Radio& walker = *radios[txers + (round / 6) % (n - txers)];
+      walker.set_position({layout.uniform(-extent_m / 2, extent_m / 2),
+                           layout.uniform(-extent_m / 2, extent_m / 2)});
+    }
+    if (round == 12 && n > txers) {
+      sim::Radio& flipped = *radios[n / 2 < txers ? txers : n / 2];
+      flipped.set_sleeping(!flipped.sleeping());
+    }
+    medium.transmit(*radios[round % txers], ppdu, tx);
+    scheduler.run_all();
+  }
+  // Brute-force coherence audit (grid, neighbor lists, SoA lanes, link
+  // memo) — O(n^2), so only at populations where that stays cheap.
+  if (n <= 500) medium.audit_coherence();
+
+  FanoutFingerprint fp;
+  for (const auto& r : radios) {
+    fp.energy_mj.push_back(r->energy().consumed_mj(scheduler.now()));
+  }
+  fp.receptions = medium.stats().receptions;
+  for (const auto& e : recorder.entries()) {
+    fp.trace.emplace_back(e.time, e.raw);
+  }
+  return fp;
+}
+
+}  // namespace
+
+/// Param = scenario seed. For each fan-out size, all four combinations of
+/// {set-associative link cache, SoA batched FER pass} must produce
+/// byte-identical energies, receptions and sniffer streams — the
+/// off-switch path is the specification the optimised path is held to.
+class FanoutEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FanoutEquivalence, CacheLayoutAndSoaPassAreObservablyIdentical) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{10}, std::size_t{500}, std::size_t{5000}}) {
+    const FanoutFingerprint baseline =
+        run_fanout_scenario(GetParam(), n, false, false);
+    EXPECT_EQ(run_fanout_scenario(GetParam(), n, true, false), baseline)
+        << "set-assoc link cache diverged at n=" << n;
+    EXPECT_EQ(run_fanout_scenario(GetParam(), n, false, true), baseline)
+        << "SoA batched FER pass diverged at n=" << n;
+    EXPECT_EQ(run_fanout_scenario(GetParam(), n, true, true), baseline)
+        << "combined configuration diverged at n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, FanoutEquivalence,
+                         ::testing::Values(1, 2, 3));
+
+TEST(LinkCache, SetAssociativityCutsThrashWithIdenticalGains) {
+  // 90 radios = 8010 directed links hashed into the cache: enough
+  // colliding sets that both layouts evict, while the 2-way layout's
+  // LRU-within-set must evict strictly less than direct-mapped. The
+  // budgets themselves must not depend on the layout at all.
+  constexpr std::size_t kRadios = 90;
+  std::vector<double> gains[2];
+  std::uint64_t evictions[2] = {0, 0};
+  std::uint64_t second_pass_hits[2] = {0, 0};
+  for (const bool assoc : {false, true}) {
+    sim::Scheduler scheduler;
+    sim::MediumConfig mc;
+    mc.link_cache_assoc = assoc;
+    sim::Medium medium(scheduler, mc, /*seed=*/11);
+    Rng layout(77);
+    std::vector<std::unique_ptr<sim::Radio>> radios;
+    for (std::size_t i = 0; i < kRadios; ++i) {
+      sim::RadioConfig rc;
+      rc.position = {layout.uniform(-400.0, 400.0),
+                     layout.uniform(-400.0, 400.0)};
+      radios.push_back(std::make_unique<sim::Radio>(medium, scheduler, rc));
+    }
+    std::vector<double>& g = gains[assoc ? 1 : 0];
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::uint64_t hits_before = medium.stats().link_cache_hits;
+      for (const auto& a : radios) {
+        for (const auto& b : radios) {
+          if (a == b) continue;
+          g.push_back(medium.rx_power_dbm(*a, 20.0, *b));
+        }
+      }
+      if (pass == 1) {
+        second_pass_hits[assoc ? 1 : 0] =
+            medium.stats().link_cache_hits - hits_before;
+      }
+    }
+    evictions[assoc ? 1 : 0] = medium.stats().link_cache_evictions;
+  }
+  // Bit-identical budgets regardless of layout (both passes).
+  ASSERT_EQ(gains[0].size(), gains[1].size());
+  for (std::size_t i = 0; i < gains[0].size(); ++i) {
+    EXPECT_EQ(gains[0][i], gains[1][i]) << "link " << i;
+  }
+  // Both layouts thrash under 8010 conflicting keys, but two ways absorb
+  // every 2-way conflict that direct mapping ping-pongs on.
+  EXPECT_GT(evictions[1], 0u);
+  EXPECT_LT(evictions[1], evictions[0]);
+  EXPECT_GT(second_pass_hits[1], second_pass_hits[0]);
+}

@@ -2,6 +2,8 @@
 // propagation, error model and the multipath CSI model.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "phy/channel.h"
 #include "phy/csi.h"
 #include "phy/error_model.h"
@@ -152,6 +154,30 @@ TEST(ErrorModel, RobustRatesBeatFastRates) {
   const double snr = 10.0;
   EXPECT_LT(frame_error_rate(kOfdm6, snr, 500),
             frame_error_rate(kOfdm54, snr, 500));
+}
+
+TEST(ErrorModel, BatchMatchesScalarBitForBit) {
+  // The medium's batched FER pass substitutes frame_error_rate_batch for
+  // per-receiver scalar calls, so the two must agree to the last bit —
+  // EXPECT_EQ on doubles here, never near-equality. The grid spans the
+  // whole operating range: deep loss, the waterfall region, and SNRs
+  // where FER underflows to 0.
+  const PhyRate rates[] = {kDsss1,  kDsss2,  kDsss11, kOfdm6,  kOfdm9,
+                           kOfdm12, kOfdm18, kOfdm24, kOfdm36, kOfdm48,
+                           kOfdm54};
+  std::vector<double> snr_db;
+  for (double s = -12.0; s <= 44.0; s += 0.25) snr_db.push_back(s);
+  std::vector<double> batch(snr_db.size());
+  for (const PhyRate& rate : rates) {
+    for (const std::size_t octets : {std::size_t{26}, std::size_t{1536}}) {
+      frame_error_rate_batch(rate, snr_db, octets, batch);
+      for (std::size_t i = 0; i < snr_db.size(); ++i) {
+        EXPECT_EQ(batch[i], frame_error_rate(rate, snr_db[i], octets))
+            << rate.name() << " @ " << snr_db[i] << " dB, " << octets
+            << " octets";
+      }
+    }
+  }
 }
 
 // --- CSI model ------------------------------------------------------------------------------

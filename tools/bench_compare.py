@@ -30,9 +30,17 @@ Rules:
     baseline denominator is zero — a PW_METRICS=OFF build writes
     all-zero blocks — are skipped as "no data", never failed.
 
+  - --floor KEY=VALUE (repeatable) pins an absolute minimum on a fresh
+    value, independent of the committed baseline: the relative gate only
+    catches a drop against the last committed number, so a sequence of
+    small regressions (or a quietly re-baselined json) can walk a
+    headline throughput down unnoticed. CI floors the fan-out benches
+    this way.
+
 Usage:
   python3 tools/bench_compare.py BASELINE_DIR FRESH_DIR [--threshold 0.15]
                                  [--metrics] [--metrics-threshold 0.10]
+                                 [--floor KEY=VALUE ...]
 """
 
 from __future__ import annotations
@@ -135,7 +143,25 @@ def main() -> int:
     ap.add_argument("--metrics-threshold", type=float, default=0.10,
                     help="allowed hit/reuse-rate drop in percentage "
                          "points (default 0.10)")
+    ap.add_argument("--floor", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="absolute throughput floor on a fresh value "
+                         "(repeatable), e.g. "
+                         "--floor fanout_5000_indexed_tx_per_sec=5000. "
+                         "Unlike the relative gate, a floor holds even "
+                         "if the committed baseline drifts downward; it "
+                         "fails too when no fresh bench reports KEY.")
     args = ap.parse_args()
+
+    floors: dict[str, float] = {}
+    for spec in args.floor:
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            sys.exit(f"--floor {spec!r}: want KEY=VALUE")
+        try:
+            floors[key] = float(value)
+        except ValueError:
+            sys.exit(f"--floor {spec!r}: {value!r} is not a number")
 
     baseline = load_dir(args.baseline_dir)
     fresh = load_dir(args.fresh_dir)
@@ -182,6 +208,25 @@ def main() -> int:
                             args.metrics_threshold, failures)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  new  {name}: no baseline yet (commit its BENCH json)")
+
+    unseen = dict(floors)
+    for name, cur in sorted(fresh.items()):
+        for key, floor in sorted(floors.items()):
+            cur_v = cur.get(key)
+            if not isinstance(cur_v, (int, float)):
+                continue
+            unseen.pop(key, None)
+            status = "OK"
+            if cur_v < floor:
+                status = "FAIL"
+                failures.append(
+                    f"{name}.{key}: {cur_v:.1f} below absolute floor "
+                    f"{floor:.1f}")
+            print(f"  {status:4s} {name}.{key}: {cur_v:.1f} "
+                  f"(floor {floor:.1f})")
+    for key, floor in sorted(unseen.items()):
+        failures.append(
+            f"--floor {key}={floor:g}: no fresh bench reports this key")
 
     if failures:
         print(f"\nbench_compare: {len(failures)} regression(s):",

@@ -50,6 +50,14 @@ CI rather than by review vigilance:
                         metrics registry and the timeline profiler, and
                         compiles out with -DPW_METRICS=OFF. src/obs is
                         the one place allowed to read the clock.
+  scalar-fer-in-fanout  a scalar phy::frame_error_rate call in
+                        src/sim/medium.cpp: the fan-out computes FER
+                        through the SoA batch pass + memo
+                        (batched_frame_error_rates); a stray per-receiver
+                        scalar call there is exactly the 3k-tx/s wall the
+                        batch pass removed. The memoized off-switch path
+                        (cached_frame_error_rate) carries the one
+                        sanctioned inline allow.
 
 Violations can be acknowledged in tools/pw_lint_allowlist.txt as
 `path:rule  # justification` (the justification is mandatory), or
@@ -85,6 +93,10 @@ EXPERIMENT_DIRS = ("src/runtime/experiments",)
 # the metrics registry and the PW_METRICS=OFF compile gate.
 INSTRUMENTED_DIRS = ("src/sim", "src/mac", "src/phy", "src/runtime")
 
+# Files on the medium fan-out, where per-receiver scalar FER calls are
+# the historical throughput wall (the SoA batch pass exists to kill them).
+FANOUT_FILES = ("src/sim/medium.cpp",)
+
 # Linted roots for a no-argument run.
 LINT_ROOTS = ("src", "examples")
 
@@ -112,6 +124,9 @@ RAW_SIM_RE = re.compile(r"\bsim::Simulation\b|\bSimulationConfig\b")
 # Clock *reads*, not duration math: duration_cast and chrono literals stay
 # legal everywhere; naming steady_clock is what this rule fences off.
 DIRECT_TIMING_RE = re.compile(r"\bsteady_clock\b")
+# The scalar FER entry point exactly — `frame_error_rate_batch(` has a
+# different next character and deliberately does not match.
+SCALAR_FER_RE = re.compile(r"\bphy::frame_error_rate\s*\(")
 # A by-value octet-buffer parameter: `Bytes name` (no &/&&) directly after
 # an opening paren or comma, or starting a continuation line of a wrapped
 # signature. Matches parameters, not declarations (`Bytes x;`) or
@@ -235,6 +250,7 @@ class Linter:
         zero_copy = rel.startswith(BY_VALUE_DIRS)
         experiment = rel.startswith(EXPERIMENT_DIRS)
         instrumented = rel.startswith(INSTRUMENTED_DIRS)
+        fanout = rel in FANOUT_FILES
 
         # Track "inside a derived class" with a brace-depth heuristic good
         # enough for this codebase's one-class-per-header style.
@@ -271,6 +287,12 @@ class Linter:
                             "layer; route timing through PW_TIMEIT "
                             "(obs/metrics.h) so it reaches the registry "
                             "and compiles out with PW_METRICS=OFF", raw)
+            if fanout and SCALAR_FER_RE.search(line):
+                self.report(path, lineno, "scalar-fer-in-fanout",
+                            "scalar phy::frame_error_rate on the medium "
+                            "fan-out; route through "
+                            "batched_frame_error_rates (the SoA pass + "
+                            "memo) instead", raw)
             if experiment and RAW_SIM_RE.search(line):
                 self.report(path, lineno, "raw-sim-construction",
                             "experiments build simulations through "
