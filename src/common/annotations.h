@@ -1,0 +1,85 @@
+// Static-analysis annotations: hot-path purity markers and Clang
+// Thread Safety Analysis capability attributes.
+//
+// Two audiences read these macros:
+//
+//   * tools/pw_analyze.py — the AST-grade analyzer. `PW_HOT` marks a
+//     function as a hot-path root; the analyzer walks its transitive
+//     call graph and rejects heap allocation, `throw`, lock
+//     acquisition, and wall-clock reads anywhere under it (rules
+//     hot-new / hot-throw / hot-lock / hot-clock). `PW_GUARDED_BY` /
+//     `PW_REQUIRES` feed the analyzer's portable guarded-by check.
+//
+//   * clang -Wthread-safety — the CI `analyze` job compiles the tree
+//     with clang and `-Wthread-safety -Werror`, so a `PW_GUARDED_BY`
+//     field written without its capability held fails the build. On
+//     GCC (the default local toolchain) every thread-safety macro
+//     expands to nothing; `PW_HOT` expands to nothing too — it is an
+//     `annotate("pw_hot")` attribute under clang purely so AST tools
+//     can see it, never a codegen hint.
+//
+// Raw `std::mutex` is invisible to the analysis (libstdc++ ships no
+// capability attributes), so lock-guarded state uses the annotated
+// wrappers in common/mutex.h instead.
+#pragma once
+
+#if defined(__clang__)
+#define PW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PW_THREAD_ANNOTATION(x)
+#endif
+
+// Hot-path root marker. Apply to the *definition*, before the return
+// type: `PW_HOT void Medium::transmit(...)`. Keep PW_TIMEIT out of
+// PW_HOT functions — ScopedTimer reads the wall clock; hot paths
+// report through counters only.
+#if defined(__clang__)
+#define PW_HOT __attribute__((annotate("pw_hot")))
+#else
+#define PW_HOT
+#endif
+
+// --- Capability (mutex) annotations -----------------------------------
+// Naming follows the Clang Thread Safety Analysis documentation; the
+// PW_ prefix keeps them greppable and lets GCC builds compile clean.
+
+// Declares that a class is a capability (lock) type.
+#define PW_CAPABILITY(x) PW_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII class whose lifetime holds a capability.
+#define PW_SCOPED_CAPABILITY PW_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable may only be touched while `x` is held.
+#define PW_GUARDED_BY(x) PW_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointed-to data (not the pointer itself) is guarded by `x`.
+#define PW_PT_GUARDED_BY(x) PW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Caller must hold the listed capabilities exclusively.
+#define PW_REQUIRES(...) \
+  PW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Caller must hold the listed capabilities at least shared.
+#define PW_REQUIRES_SHARED(...) \
+  PW_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and does not release it.
+#define PW_ACQUIRE(...) PW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability.
+#define PW_RELEASE(...) PW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `ret`.
+#define PW_TRY_ACQUIRE(ret, ...) \
+  PW_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// Caller must NOT already hold the listed capabilities (deadlock guard).
+#define PW_EXCLUDES(...) PW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Returns a reference to the capability guarding this object.
+#define PW_RETURN_CAPABILITY(x) PW_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use
+// carries a comment saying why the analysis cannot see the invariant.
+#define PW_NO_THREAD_SAFETY_ANALYSIS \
+  PW_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -127,6 +127,11 @@ class ByteReader {
  private:
   std::span<const std::uint8_t> take(std::size_t n) {
     if (remaining() < n) {
+      // pw-analyze: allow(hot-throw): the underflow throw is the
+      // codec's malformed-frame signal — intact frames never take this
+      // branch, so it is cold by construction even when a PW_HOT
+      // delivery path parses received octets (the MAC catches at frame
+      // boundary and drops the frame).
       throw BufferUnderflow("read of " + std::to_string(n) +
                             " bytes with only " + std::to_string(remaining()) +
                             " remaining");

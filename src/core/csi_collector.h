@@ -11,14 +11,14 @@
 
 #include "core/ack_sniffer.h"
 #include "core/injector.h"
+#include "phy/csi.h"
 
 namespace politewifi::core {
 
-struct CsiSample {
-  TimePoint time{};
-  phy::CsiSnapshot csi;
-  double rssi_dbm = -100.0;
-};
+/// The sample type moved to phy/csi.h so the sensing layer can consume
+/// it without depending on core; the alias keeps existing core-side
+/// spellings working.
+using CsiSample = phy::CsiSample;
 
 class CsiCollector {
  public:

@@ -62,6 +62,8 @@ void DeviceScanner::on_frame(const frames::Frame& frame,
 
 std::size_t DeviceScanner::count_aps() const {
   std::size_t n = 0;
+  // pw-analyze: allow(unordered-iteration): commutative reduction (a
+  // sum) over the device map; no ordering escapes.
   for (const auto& [mac, d] : devices_) n += d.is_ap ? 1 : 0;
   return n;
 }

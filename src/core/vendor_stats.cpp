@@ -25,6 +25,9 @@ VendorTable tally_vendors(
     bool aps) {
   std::map<std::string, std::size_t> counts;
   VendorTable table;
+  // pw-analyze: allow(unordered-iteration): folds the hash map into a
+  // sorted std::map (rows then re-sorted by count/name) before any
+  // Table 2 row is emitted; output order is independent of hash order.
   for (const auto& [mac, dev] : devices) {
     if (dev.is_ap != aps) continue;
     ++counts[dev.vendor.value_or("(unknown)")];

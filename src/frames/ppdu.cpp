@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 
@@ -20,13 +21,16 @@ Bytes& PpduRef::mutable_octets() {
   return buf_->octets;
 }
 
-void PpduRef::release() {
+PW_HOT void PpduRef::release() {
   if (buf_ == nullptr) return;
   PW_DCHECK(buf_->refs > 0, "PpduRef over-release");
   if (--buf_->refs == 0) {
     if (buf_->pool != nullptr) {
       buf_->pool->release_buffer(buf_);
     } else {
+      // pw-analyze: allow(hot-new): orphan/freestanding buffers only —
+      // pooled buffers return to the free list above; the legacy
+      // allocate-per-frame path is the sanctioned off-switch.
       delete buf_;
     }
   }
@@ -53,7 +57,7 @@ PpduPool::~PpduPool() {
   }
 }
 
-PpduRef PpduPool::acquire() {
+PW_HOT PpduRef PpduPool::acquire() {
   ++stats_.acquires;
   if (pooling_ && !free_.empty()) {
     ++stats_.reuses;
@@ -66,6 +70,9 @@ PpduRef PpduPool::acquire() {
   }
   ++stats_.allocations;
   PW_COUNT(kPpduPoolAllocations);
+  // pw-analyze: allow(hot-new): pool growth on a cold miss only; steady
+  // state recycles via free_, witnessed by sim.ppdu_pool.allocations and
+  // the bench-regression allocation gate.
   auto* buf = new PpduRef::Buffer;
   if (pooling_) {
     buf->pool = this;

@@ -108,6 +108,14 @@ class PpduRef {
 /// Free-list pool of PPDU buffers. acquire() hands out an empty buffer
 /// that keeps its previous capacity, so after warm-up the inject->
 /// transmit->deliver path recycles the same few buffers forever.
+///
+/// Concurrency: the pool is *thread-confined*, not thread-safe — one
+/// pool, its refs, and its (deliberately non-atomic) refcounts belong
+/// to exactly one simulation thread; sweep workers each own an
+/// independent Medium and pool. There is no mutex here on purpose, so
+/// there is nothing for PW_GUARDED_BY to name: the confinement contract
+/// is enforced dynamically instead (the TSan CI job runs the sweep and
+/// equivalence suites, and ~PpduPool/audit() account for every buffer).
 class PpduPool {
  public:
   struct Stats {

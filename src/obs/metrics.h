@@ -166,6 +166,15 @@ const HistInfo& hist_info(Hist h);
 
 /// The process-wide registry. All storage is static so the hot-path add
 /// is one array index + one relaxed atomic op, with no singleton load.
+///
+/// Concurrency: every cell is a std::atomic updated with relaxed
+/// ordering — the counters are commutative, so no mutex (and hence no
+/// PW_GUARDED_BY capability) exists here by design; -Wthread-safety
+/// verifies atomics' data-race freedom comes from the type, not from
+/// annotations. The one non-atomic phase is reset(), whose "no
+/// instrumented threads running" precondition is a call-phasing
+/// contract (documented above it) checked by the TSan CI job rather
+/// than by the static analysis.
 class Registry {
  public:
   /// Edges per histogram are bounded so the cells are fixed arrays.

@@ -23,11 +23,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/json.h"
+#include "common/mutex.h"
 
 namespace politewifi::obs {
 
@@ -73,11 +74,11 @@ class TimelineProfiler {
     std::int64_t dur_ns;
   };
 
-  void push(const Span& span);
+  void push(const Span& span) PW_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::size_t dropped_ = 0;
+  mutable common::Mutex mutex_;
+  std::vector<Span> spans_ PW_GUARDED_BY(mutex_);
+  std::size_t dropped_ PW_GUARDED_BY(mutex_) = 0;
 };
 
 /// The installed profiler, or nullptr (hooks disabled). Installation is

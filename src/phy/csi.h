@@ -46,6 +46,16 @@ struct CsiSnapshot {
   double mean_amplitude() const;
 };
 
+/// One harvested CSI observation: a snapshot plus the RSSI it arrived
+/// with. This is the unit the sensing pipelines consume (resampling,
+/// subcarrier selection, spectrograms) — a PHY-layer observation, so it
+/// lives here; `core::CsiCollector` produces vectors of them.
+struct CsiSample {
+  TimePoint time{};
+  CsiSnapshot csi;
+  double rssi_dbm = -100.0;
+};
+
 /// Builds the static path set for a link of length `distance_m`:
 /// a line-of-sight path plus `n_reflections` environment reflections with
 /// excess delays of 5–80 ns and amplitudes 0.1–0.5 of LOS. Deterministic

@@ -69,7 +69,10 @@ bool write_output(const char* label, const std::string& default_name,
   std::string path;
   if (arg.empty()) {
     path = default_name;
-  } else if (force_dir) {
+  } else if (force_dir || fs::is_directory(arg)) {
+    // An existing directory means "put the default-named file in
+    // there" even outside --all mode; fopen on a directory would only
+    // fail with a less helpful error.
     std::error_code ec;
     fs::create_directories(arg, ec);
     if (ec) {

@@ -8,9 +8,9 @@ namespace politewifi::sensing {
 
 namespace {
 
-TimeSeries resample(const std::vector<core::CsiSample>& samples,
+TimeSeries resample(const std::vector<phy::CsiSample>& samples,
                     double rate_hz,
-                    const std::function<double(const core::CsiSample&)>& f) {
+                    const std::function<double(const phy::CsiSample&)>& f) {
   TimeSeries out;
   if (samples.empty() || rate_hz <= 0.0) return out;
   out.dt_s = 1.0 / rate_hz;
@@ -34,21 +34,21 @@ TimeSeries resample(const std::vector<core::CsiSample>& samples,
 
 }  // namespace
 
-TimeSeries resample_amplitude(const std::vector<core::CsiSample>& samples,
+TimeSeries resample_amplitude(const std::vector<phy::CsiSample>& samples,
                               int subcarrier, double rate_hz) {
-  return resample(samples, rate_hz, [subcarrier](const core::CsiSample& s) {
+  return resample(samples, rate_hz, [subcarrier](const phy::CsiSample& s) {
     return s.csi.amplitude(subcarrier);
   });
 }
 
 TimeSeries resample_mean_amplitude(
-    const std::vector<core::CsiSample>& samples, double rate_hz) {
-  return resample(samples, rate_hz, [](const core::CsiSample& s) {
+    const std::vector<phy::CsiSample>& samples, double rate_hz) {
+  return resample(samples, rate_hz, [](const phy::CsiSample& s) {
     return s.csi.mean_amplitude();
   });
 }
 
-int select_best_subcarrier(const std::vector<core::CsiSample>& samples) {
+int select_best_subcarrier(const std::vector<phy::CsiSample>& samples) {
   if (samples.empty()) return 0;
   const int n = int(samples.front().csi.h.size());
   int best = 0;

@@ -8,7 +8,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "core/csi_collector.h"
+#include "phy/csi.h"
 
 namespace politewifi::sensing {
 
@@ -25,18 +25,18 @@ struct TimeSeries {
 
 /// Resamples one subcarrier's CSI amplitude onto a uniform grid at
 /// `rate_hz` (zero-order hold; gaps are bridged by the previous value).
-TimeSeries resample_amplitude(const std::vector<core::CsiSample>& samples,
+TimeSeries resample_amplitude(const std::vector<phy::CsiSample>& samples,
                               int subcarrier, double rate_hz);
 
 /// Mean amplitude across all subcarriers, resampled the same way.
 TimeSeries resample_mean_amplitude(
-    const std::vector<core::CsiSample>& samples, double rate_hz);
+    const std::vector<phy::CsiSample>& samples, double rate_hz);
 
 /// The subcarrier whose amplitude varies the most over the capture — the
 /// standard sensing trick: multipath geometry makes some subcarriers sit
 /// at insensitive points of the phasor sum, so pick the most responsive
 /// one. Returns 0 when samples are empty.
-int select_best_subcarrier(const std::vector<core::CsiSample>& samples);
+int select_best_subcarrier(const std::vector<phy::CsiSample>& samples);
 
 /// Basic statistics used all over the pipeline.
 double mean(const std::vector<double>& v);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 
@@ -79,7 +80,7 @@ void Scheduler::release_slot(std::uint32_t index) {
   free_slots_.push_back(index);
 }
 
-Scheduler::EventId Scheduler::schedule_at(TimePoint at, Callback fn) {
+PW_HOT Scheduler::EventId Scheduler::schedule_at(TimePoint at, Callback fn) {
   const std::uint32_t index = acquire_slot();
   Slot& slot = pool_[index];
   slot.fn = std::move(fn);
@@ -89,7 +90,7 @@ Scheduler::EventId Scheduler::schedule_at(TimePoint at, Callback fn) {
   return make_id(index, slot.generation);
 }
 
-void Scheduler::cancel(EventId id) {
+PW_HOT void Scheduler::cancel(EventId id) {
   const std::uint64_t offset = id >> 32;
   if (offset == 0 || offset > pool_.size()) return;
   Slot& slot = pool_[offset - 1];
@@ -126,7 +127,7 @@ void Scheduler::compact() {
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-bool Scheduler::pop_one(bool bounded, TimePoint limit) {
+PW_HOT bool Scheduler::pop_one(bool bounded, TimePoint limit) {
   while (!heap_.empty()) {
     if (bounded && heap_.front().at > limit) return false;
     const HeapEntry top = heap_.front();

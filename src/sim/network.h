@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "crypto/wpa2.h"
 #include "sim/device.h"
 #include "sim/trace.h"
 

@@ -3,12 +3,46 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace politewifi::sim {
+
+namespace {
+
+/// First-exception slot shared by the worker pool: whichever worker
+/// faults first wins, later exceptions are dropped (the sweep is
+/// aborting either way). The mutex is the capability guarding `first_`;
+/// clang -Wthread-safety proves both accessors hold it.
+class ErrorSlot {
+ public:
+  /// Records std::current_exception() if no earlier error is held.
+  void capture_current() PW_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    if (!first_) first_ = std::current_exception();
+  }
+
+  /// Rethrows the captured exception, if any. Called after join, but
+  /// takes the lock anyway — correctness shouldn't depend on call-site
+  /// phasing the analysis can't see.
+  void rethrow_if_set() PW_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      common::MutexLock lock(mutex_);
+      error = first_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  common::Mutex mutex_;
+  std::exception_ptr first_ PW_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 unsigned SweepRunner::default_threads() {
   if (const char* s = std::getenv("PW_THREADS")) {
@@ -27,8 +61,7 @@ void SweepRunner::for_each_index(
   if (n == 0) return;
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorSlot first_error;
 
   const auto worker = [&] {
     for (;;) {
@@ -39,8 +72,7 @@ void SweepRunner::for_each_index(
         PW_TIMEIT(kSweepJobWallNs, "sweep_job");
         job(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        first_error.capture_current();
       }
     }
   };
@@ -56,7 +88,7 @@ void SweepRunner::for_each_index(
     for (auto& w : workers) w.join();
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 }  // namespace politewifi::sim

@@ -1,0 +1,45 @@
+// Fixture: the shapes the checks must NOT flag — ordered (std::map)
+// iteration, a PW_HOT function that stays pure, and a guarded field
+// only ever touched under its lock. Any finding here is a false
+// positive and fails the fixture suite.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace politewifi::common {
+
+inline int total(const std::map<std::string, int>& counts) {
+  int sum = 0;
+  for (const auto& [name, n] : counts) {
+    (void)name;
+    sum += n;
+  }
+  return sum;
+}
+
+PW_HOT inline int clamp_level(int level) {
+  return level < 0 ? 0 : level;
+}
+
+class SafeTally {
+ public:
+  void add(int n) {
+    common::MutexLock lock(mutex_);
+    sum_ += n;
+  }
+
+  long read() const {
+    common::MutexLock lock(mutex_);
+    return sum_;
+  }
+
+ private:
+  mutable common::Mutex mutex_;
+  long sum_ PW_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace politewifi::common

@@ -1,0 +1,17 @@
+// Fixture: heap allocation buried two calls below a PW_HOT root. The
+// purity walk must follow dispatch_one → refill → grow_slot and report
+// the `new` against the root, not just direct allocations in the
+// annotated function itself.
+#pragma once
+
+#include "common/annotations.h"
+
+namespace politewifi::sim {
+
+inline int* grow_slot() { return new int(0); }
+
+inline int* refill() { return grow_slot(); }
+
+PW_HOT inline int* dispatch_one() { return refill(); }
+
+}  // namespace politewifi::sim

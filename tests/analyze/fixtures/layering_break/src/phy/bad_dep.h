@@ -1,0 +1,18 @@
+// Fixture: phy reaching *up* into sim. Both dependency edge kinds must
+// be flagged by the layering check — the #include edge and the
+// qualified-name (decl-use) edge — because phy → sim is not in
+// ALLOWED_DEPS (sim depends on phy, never the reverse).
+#pragma once
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace politewifi::phy {
+
+/// A PHY object holding a pointer into the simulator layer above it.
+struct ScheduledProbe {
+  sim::Scheduler* scheduler = nullptr;
+  double level_dbm = 0.0;
+};
+
+}  // namespace politewifi::phy

@@ -1,0 +1,25 @@
+// Fixture: a PW_GUARDED_BY field written with and without its lock.
+// hit() constructs a MutexLock on the capability and must pass;
+// hit_unlocked() touches the same field bare and must be flagged.
+#pragma once
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace politewifi::obs {
+
+class HitCounter {
+ public:
+  void hit() {
+    common::MutexLock lock(mutex_);
+    ++hits_;
+  }
+
+  void hit_unlocked() { ++hits_; }
+
+ private:
+  mutable common::Mutex mutex_;
+  long hits_ PW_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace politewifi::obs

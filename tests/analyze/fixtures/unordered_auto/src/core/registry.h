@@ -1,0 +1,31 @@
+// Fixture: unordered iteration laundered through an alias and auto.
+// The range expression is `table`; its declaration is `auto&`, whose
+// initializer is the member `devices_`, whose declared type is the
+// alias `DeviceMap`, which expands to std::unordered_map. A line regex
+// sees none of that — the type-aware check must still flag the loop.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace politewifi::core {
+
+using DeviceMap = std::unordered_map<int, std::string>;
+
+class Registry {
+ public:
+  int count() const {
+    auto& table = devices_;
+    int n = 0;
+    for (const auto& entry : table) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  DeviceMap devices_;
+};
+
+}  // namespace politewifi::core

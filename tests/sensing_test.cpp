@@ -374,12 +374,12 @@ TEST(Dtw, ZNormalize) {
 // --- Resampling -----------------------------------------------------------------------------
 
 TEST(Resample, UniformGridFromIrregularSamples) {
-  std::vector<core::CsiSample> samples;
+  std::vector<phy::CsiSample> samples;
   Rng rng(10);
   phy::PathSet paths{{.delay_ns = 10, .amplitude = 1.0}};
   double t = 0.0;
   for (int i = 0; i < 100; ++i) {
-    core::CsiSample s;
+    phy::CsiSample s;
     s.time = kSimStart + from_seconds(t);
     Rng noise(i);
     s.csi = phy::evaluate_csi(2.437e9, paths, {}, 0.0, noise, s.time);

@@ -13,12 +13,6 @@ CI rather than by review vigilance:
   raw-random            rand()/srand()/random_device/drand48 and any
                         #include <random> outside common/rng — all
                         randomness flows from seeded politewifi::Rng.
-  unordered-iteration   range-for over an unordered_map/unordered_set
-                        (including one reached through an iterator's
-                        ->second): iteration order is
-                        implementation-defined, so anything it feeds —
-                        survey tables, pcap traces, event scheduling —
-                        can differ between runs and toolchains.
   raw-new               new/delete in the sim hot paths (src/sim,
                         src/mac, src/phy): per-event allocations are the
                         engine's historical perf bugs; use pools,
@@ -58,6 +52,13 @@ CI rather than by review vigilance:
                         batch pass removed. The memoized off-switch path
                         (cached_frame_error_rate) carries the one
                         sanctioned inline allow.
+
+The unordered-iteration rule (range-for over an unordered container)
+used to live here as a regex; it moved to tools/pw_analyze.py, whose
+type resolution follows aliases, auto, find()-iterators and structured
+bindings that a line regex cannot. pw_lint stays the cheap
+token-pattern tier; pw_analyze is the AST-grade tier (see
+CONTRIBUTING.md, "Static analysis & invariants").
 
 Violations can be acknowledged in tools/pw_lint_allowlist.txt as
 `path:rule  # justification` (the justification is mandatory), or
@@ -115,10 +116,6 @@ VIRTUAL_RE = re.compile(r"^\s*virtual\b")
 CLASS_WITH_BASE_RE = re.compile(
     r"\b(?:class|struct)\s+(\w+)[^;{]*:\s*(?:public|protected|private)\s"
 )
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;:()]*:\s*([^)]+)\)")
-UNORDERED_ALIAS_RE = re.compile(
-    r"using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\b"
-)
 INLINE_ALLOW_RE = re.compile(r"//\s*pw-lint:\s*allow\((\s*[\w-]+\s*)\)")
 RAW_SIM_RE = re.compile(r"\bsim::Simulation\b|\bSimulationConfig\b")
 # Clock *reads*, not duration math: duration_cast and chrono literals stay
@@ -168,50 +165,6 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def unordered_value_names(code: str) -> tuple[set[str], set[str]]:
-    """Names whose iteration is unordered.
-
-    Returns (direct, via_find): `direct` holds variables/aliases declared
-    as unordered containers; `via_find` holds iterator variables obtained
-    by .find() on a container whose *mapped type* is itself unordered
-    (so `it->second` iterates unordered)."""
-    aliases = set(UNORDERED_ALIAS_RE.findall(code))
-    unordered_type = (
-        r"(?:std::)?unordered_(?:map|set)\s*<[^;{}]*?>"
-        + (r"|\b(?:%s)\b" % "|".join(map(re.escape, aliases)) if aliases else "")
-    )
-    direct: set[str] = set()
-    for m in re.finditer(
-        r"(?:%s)\s*(?:const\s*)?&?\s+(\w+)\s*[;,)=({]" % unordered_type, code
-    ):
-        direct.add(m.group(1))
-    # Containers whose mapped type is unordered: unordered_map<K, Alias>
-    # or unordered_map<K, unordered_*<...>>.
-    nested: set[str] = set()
-    for m in re.finditer(
-        r"(?:std::)?unordered_map\s*<[^;{}]*?,\s*([\w:]+)[^;{}]*?>\s*&?\s*(\w+)\s*[;,)=({]",
-        code,
-    ):
-        mapped, name = m.group(1), m.group(2)
-        if mapped.split("::")[-1] in aliases or "unordered_" in mapped:
-            nested.add(name)
-    via_find: set[str] = set()
-    for m in re.finditer(
-        r"(?:const\s+)?auto\s+(\w+)\s*=\s*(\w+)\.find\s*\(", code
-    ):
-        if m.group(2) in nested:
-            via_find.add(m.group(1))
-    # Structured bindings over a nested container: in
-    # `for (auto& [k, v] : nested_)`, v is itself unordered.
-    for m in re.finditer(
-        r"for\s*\(\s*(?:const\s+)?auto&?&?\s*\[\s*\w+\s*,\s*(\w+)\s*\]"
-        r"\s*:\s*(\w+)\s*\)", code
-    ):
-        if m.group(2) in nested:
-            direct.add(m.group(1))
-    return direct, via_find
-
-
 class Linter:
     def __init__(self, allowlist: dict[tuple[str, str], str]):
         self.allowlist = allowlist
@@ -234,16 +187,6 @@ class Linter:
         raw_text = path.read_text()
         raw_lines = raw_text.splitlines()
         code_lines = strip_comments_and_strings(raw_text).splitlines()
-        code = "\n".join(code_lines)
-        # A .cpp sees its class's members, which live in the sibling
-        # header — fold the header's declarations into name resolution
-        # (the header's own lines are linted when it is visited).
-        decl_code = code
-        sibling = path.with_suffix(".h")
-        if path.suffix == ".cpp" and sibling.exists():
-            decl_code += "\n" + strip_comments_and_strings(
-                sibling.read_text())
-        direct, via_find = unordered_value_names(decl_code)
         in_rng = rel.startswith("src/common/rng")
         in_clock = rel == "src/common/clock.h"
         hot = rel.startswith(HOT_PATH_DIRS)
@@ -303,20 +246,6 @@ class Linter:
                             "by-value octet buffer on the payload pipeline; "
                             "pass std::span<const std::uint8_t>, Bytes&&, "
                             "or a PpduRef", raw)
-            if (m := RANGE_FOR_RE.search(line)):
-                target = m.group(1).strip()
-                base = re.sub(r"^[\w.]*?(\w+)$", r"\1", target.split("->")[0]
-                              .split(".")[0].replace("*", "").strip())
-                flagged = (
-                    target in direct or base in direct
-                    or ("unordered_" in target)
-                    or (base in via_find and "->second" in target)
-                )
-                if flagged:
-                    self.report(path, lineno, "unordered-iteration",
-                                f"iterating '{target}': unordered container "
-                                "order is implementation-defined", raw)
-
             if CLASS_WITH_BASE_RE.search(line):
                 derived_depth.append(depth)
             if derived_depth and VIRTUAL_RE.search(line) \
