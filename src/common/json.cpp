@@ -38,6 +38,12 @@ void Json::push_back(Json v) {
   array_.push_back(std::move(v));
 }
 
+const Json& Json::at(std::size_t index) const {
+  PW_CHECK(kind_ == Kind::kArray);
+  PW_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
 std::size_t Json::size() const {
   if (kind_ == Kind::kArray) return array_.size();
   if (kind_ == Kind::kObject) return object_.size();

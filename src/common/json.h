@@ -7,9 +7,10 @@
 // have exactly one formatting, and indentation is fixed. Two Json trees
 // holding equal values always dump() to equal bytes.
 //
-// This is a writer-first type (results flow out of the simulator, never
-// in), so there is deliberately no parser here; tools/golden_compare.py
-// does the tolerance-aware reading on the Python side.
+// This is a writer-first type; tools/golden_compare.py does the
+// tolerance-aware reading on the Python side. The one C++ reader is
+// json_parse.h: the city driver parses child pw_run documents back in
+// order to reduce them, relying on dump() being a parse() fixed point.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +69,9 @@ class Json {
 
   /// Array append; a null value promotes to an empty array.
   void push_back(Json v);
+
+  /// Array element read (checked: must be an array, index in range).
+  const Json& at(std::size_t index) const;
 
   /// Element count of an array or object (0 for scalars).
   std::size_t size() const;

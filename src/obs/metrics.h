@@ -83,6 +83,13 @@ namespace politewifi::obs {
     "radio power-state changes metered by EnergyMeter")                       \
   X(kSweepJobs, "sim.sweep.jobs", "jobs",                                     \
     "sweep points executed by SweepRunner workers")                           \
+  X(kShardHandoffs, "sim.shard.handoffs", "migrations",                       \
+    "mobile radios migrated to another shard at a cell-exit horizon")         \
+  X(kShardMirroredTx, "sim.shard.mirrored_tx", "ppdus",                       \
+    "transmissions whose fan-out crossed a shard border (deliveries "         \
+    "mirrored into a foreign shard's event stream)")                          \
+  X(kShardSyncStalls, "sim.shard.sync_stalls", "switches",                    \
+    "conservative-sync shard switches in the executor's merge loop")          \
   X(kMacAcksSent, "mac.acks_sent", "frames",                                  \
     "ACKs elicited at SIFS (the paper's core effect)")                        \
   X(kMacDedupEvictions, "mac.dedup_evictions", "entries",                     \
@@ -106,7 +113,9 @@ namespace politewifi::obs {
     "peak radios attached to one medium")                                     \
   X(kMediumLinkCacheGeneration, "sim.medium.link_cache_generation",           \
     "generations",                                                            \
-    "link/FER cache (re)allocations — growth drops the old contents")
+    "link/FER cache (re)allocations — growth drops the old contents")         \
+  X(kShardSkewNs, "sim.shard.skew_ns", "ns",                                  \
+    "peak spread between shard head-event times at an executor switch")
 
 enum class Counter : std::uint16_t {
 #define PW_OBS_X(sym, name, unit, desc) sym,

@@ -1,0 +1,276 @@
+#include "runtime/city_driver.h"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <variant>
+
+#include "common/json_parse.h"
+#include "runtime/city_reduce.h"
+#include "runtime/experiments/all.h"
+#include "runtime/registry.h"
+#include "runtime/run_context.h"
+#include "runtime/runner.h"
+
+namespace politewifi::runtime {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// POSIX single-quote escaping: the only character needing care inside
+/// single quotes is the quote itself.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Runs one shell command, capturing combined stdout+stderr. Returns
+/// the child's exit code (127 on spawn failure, 125 on abnormal exit).
+int run_child(const std::string& command, std::string* output) {
+  output->clear();
+  std::FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return 127;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output->append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (status < 0 || !WIFEXITED(status)) return 125;
+  return WEXITSTATUS(status);
+}
+
+/// Parses the documents and reduces them; shared by the driver (fresh
+/// child runs) and --city-reduce (documents already on disk). Writes
+/// the requested outputs and narrates the survey. Returns an exit code.
+int reduce_and_report(const std::vector<std::string>& doc_texts,
+                      const std::optional<std::string>& json_arg,
+                      const std::optional<std::string>& metrics_arg) {
+  std::vector<common::Json> children;
+  children.reserve(doc_texts.size());
+  for (const std::string& text : doc_texts) {
+    std::string parse_error;
+    auto doc = common::parse_json(text, &parse_error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "pw_run: bad district document: %s\n",
+                   parse_error.c_str());
+      return 1;
+    }
+    children.push_back(std::move(*doc));
+  }
+  std::string reduce_error;
+  const auto doc = reduce_city_documents(children, &reduce_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "pw_run: city reduction failed: %s\n",
+                 reduce_error.c_str());
+    return 1;
+  }
+
+  const common::Json* survey =
+      doc->find("results") != nullptr ? doc->find("results")->find("survey")
+                                      : nullptr;
+  if (survey != nullptr) {
+    std::printf("City survey (reduced): %lld/%lld discovered devices "
+                "responded (%.1f%%) across %lld districts\n",
+                static_cast<long long>(survey->find("responded")->as_int()),
+                static_cast<long long>(survey->find("discovered")->as_int()),
+                100.0 * survey->find("response_rate")->as_double(),
+                static_cast<long long>(survey->find("districts")->as_int()));
+  }
+
+  int exit_code = 0;
+  const common::Json* failed = doc->find("failed");
+  if (failed != nullptr && failed->as_bool()) exit_code = 1;
+  if (json_arg.has_value() &&
+      !write_output("json", "city.json", doc->dump() + "\n", *json_arg,
+                    /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  if (metrics_arg.has_value()) {
+    const common::Json* metrics = doc->find("metrics");
+    if (metrics == nullptr) {
+      std::fprintf(stderr,
+                   "pw_run: --metrics asked but the district documents "
+                   "carry no metrics block\n");
+      exit_code = 1;
+    } else if (!write_output("metrics", "city.metrics.json",
+                             metrics->dump() + "\n", *metrics_arg,
+                             /*force_dir=*/false)) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int run_city_driver(const CityDriverOptions& options) {
+  register_builtin_experiments();
+  for (const auto& flag : options.forwarded) {
+    if (flag.name == "district") {
+      std::fprintf(stderr,
+                   "pw_run: --district is the driver's own flag; with "
+                   "--city pass --districts to size the city\n");
+      return 2;
+    }
+  }
+  // Resolve the forwarded flags against the city spec up front: the
+  // district count sizes the pool, and a bad flag should fail here
+  // rather than D times in the children.
+  const auto experiment = ExperimentRegistry::instance().create("city");
+  ResolvedRun resolved;
+  std::string error;
+  if (!resolve_run(experiment->spec(), options.forwarded, options.smoke,
+                   &resolved, &error)) {
+    std::fprintf(stderr, "pw_run: %s\n", error.c_str());
+    return 2;
+  }
+  const auto districts =
+      std::get<std::int64_t>(resolved.params.at("districts"));
+  const int pool = std::clamp(options.processes, 1,
+                              static_cast<int>(districts));
+
+  // Scratch directory for the child documents.
+  const char* tmp_env = std::getenv("TMPDIR");
+  std::string tmpl = (tmp_env != nullptr ? tmp_env : "/tmp");
+  tmpl += "/pw_city.XXXXXX";
+  std::vector<char> tmpl_buf(tmpl.begin(), tmpl.end());
+  tmpl_buf.push_back('\0');
+  if (mkdtemp(tmpl_buf.data()) == nullptr) {
+    std::fprintf(stderr, "pw_run: cannot create scratch directory\n");
+    return 1;
+  }
+  const std::string scratch(tmpl_buf.data());
+
+  std::printf("City driver: %lld districts across %d processes\n",
+              static_cast<long long>(districts), pool);
+
+  std::string base = shell_quote(options.argv0) + " city";
+  if (options.smoke) base += " --smoke";
+  for (const auto& flag : options.forwarded) {
+    base += " --" + flag.name;
+    if (flag.value.has_value()) base += "=" + shell_quote(*flag.value);
+  }
+
+  std::vector<int> codes(static_cast<std::size_t>(districts), 0);
+  std::vector<std::string> outputs(static_cast<std::size_t>(districts));
+  std::atomic<std::int64_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::int64_t k = next.fetch_add(1);
+      if (k >= districts) return;
+      const std::string doc_path =
+          scratch + "/district" + std::to_string(k) + ".json";
+      std::string command = base + " --district=" + std::to_string(k) +
+                            " --json=" + shell_quote(doc_path);
+      if (options.metrics_arg.has_value()) {
+        // Redirect the per-child obs artifacts into the scratch dir so
+        // a metrics run leaves no stray trace files in the cwd; the
+        // child timelines are per-process wall time and stay
+        // diagnostics-only (never reduced).
+        command +=
+            " --metrics=" + shell_quote(doc_path + ".child.metrics.json");
+        command +=
+            " --timeline=" + shell_quote(doc_path + ".child.trace.json");
+      }
+      const std::size_t slot = static_cast<std::size_t>(k);
+      codes[slot] = run_child(command, &outputs[slot]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  int exit_code = 0;
+  std::vector<std::string> doc_texts(static_cast<std::size_t>(districts));
+  for (std::int64_t k = 0; k < districts; ++k) {
+    const std::size_t slot = static_cast<std::size_t>(k);
+    const std::string doc_path =
+        scratch + "/district" + std::to_string(k) + ".json";
+    // Exit code 1 still writes a document (the run reported failure,
+    // which the reduction ORs into `failed`); anything else is a child
+    // that never produced its document.
+    if ((codes[slot] != 0 && codes[slot] != 1) ||
+        !read_file(doc_path, &doc_texts[slot])) {
+      std::fprintf(stderr, "pw_run: district %lld failed (exit %d):\n%s",
+                   static_cast<long long>(k), codes[slot],
+                   outputs[slot].c_str());
+      exit_code = 1;
+    }
+  }
+  if (exit_code == 0) {
+    exit_code = reduce_and_report(doc_texts, options.json_arg,
+                                  options.metrics_arg);
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);  // best effort; scratch lives under TMPDIR
+  return exit_code;
+}
+
+int run_city_reduce(const std::string& dir,
+                    const std::optional<std::string>& json_arg,
+                    const std::optional<std::string>& metrics_arg) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("district", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0 &&
+        name.find(".metrics.") == std::string::npos &&
+        name.find(".trace.") == std::string::npos &&
+        name.find(".child.") == std::string::npos) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "pw_run: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "pw_run: no district*.json documents in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> doc_texts(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!read_file(paths[i], &doc_texts[i])) {
+      std::fprintf(stderr, "pw_run: cannot read %s\n", paths[i].c_str());
+      return 1;
+    }
+  }
+  return reduce_and_report(doc_texts, json_arg, metrics_arg);
+}
+
+}  // namespace politewifi::runtime

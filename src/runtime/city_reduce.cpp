@@ -1,0 +1,257 @@
+#include "runtime/city_reduce.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace politewifi::runtime {
+
+namespace {
+
+using common::Json;
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Integer field of a district report entry (0 when absent would hide
+/// schema drift, so absence is a hard mismatch handled by the caller's
+/// validation; entries come from WardriveReport::to_json()).
+std::int64_t entry_int(const Json& entry, const char* key) {
+  const Json* v = entry.find(key);
+  return v == nullptr ? 0 : v->as_int();
+}
+
+double entry_double(const Json& entry, const char* key) {
+  const Json* v = entry.find(key);
+  return v == nullptr ? 0.0 : v->as_double();
+}
+
+/// Looks up `section[name]` in a child's metrics block.
+const Json* block_cell(const Json& block, const char* section,
+                       const char* name) {
+  const Json* s = block.find(section);
+  return s == nullptr ? nullptr : s->find(name);
+}
+
+}  // namespace
+
+Json aggregate_city_survey(const Json& districts) {
+  std::int64_t population = 0;
+  std::int64_t discovered = 0;
+  std::int64_t discovered_aps = 0;
+  std::int64_t discovered_clients = 0;
+  std::int64_t responded = 0;
+  std::int64_t responded_aps = 0;
+  std::int64_t responded_clients = 0;
+  std::int64_t fake_frames_sent = 0;
+  std::int64_t acks_observed = 0;
+  double distance_m = 0.0;
+  double elapsed_s = 0.0;
+  for (std::size_t i = 0; i < districts.size(); ++i) {
+    const Json& entry = districts.at(i);
+    population += entry_int(entry, "population");
+    discovered += entry_int(entry, "discovered");
+    discovered_aps += entry_int(entry, "discovered_aps");
+    discovered_clients += entry_int(entry, "discovered_clients");
+    responded += entry_int(entry, "responded");
+    responded_aps += entry_int(entry, "responded_aps");
+    responded_clients += entry_int(entry, "responded_clients");
+    fake_frames_sent += entry_int(entry, "fake_frames_sent");
+    acks_observed += entry_int(entry, "acks_observed");
+    distance_m += entry_double(entry, "distance_m");
+    elapsed_s += entry_double(entry, "elapsed_s");
+  }
+  Json survey = Json::object();
+  survey["districts"] = static_cast<std::int64_t>(districts.size());
+  survey["population"] = population;
+  survey["discovered"] = discovered;
+  survey["discovered_aps"] = discovered_aps;
+  survey["discovered_clients"] = discovered_clients;
+  survey["responded"] = responded;
+  survey["responded_aps"] = responded_aps;
+  survey["responded_clients"] = responded_clients;
+  survey["fake_frames_sent"] = fake_frames_sent;
+  survey["acks_observed"] = acks_observed;
+  survey["distance_m"] = distance_m;
+  survey["elapsed_s"] = elapsed_s;
+  survey["response_rate"] =
+      discovered == 0 ? 0.0
+                      : static_cast<double>(responded) /
+                            static_cast<double>(discovered);
+  return survey;
+}
+
+std::optional<Json> merge_metrics_blocks(
+    const std::vector<const Json*>& blocks, std::string* error) {
+  Json counters = Json::object();
+  for (const obs::MetricInfo& info : obs::counter_catalog()) {
+    std::int64_t sum = 0;
+    for (const Json* block : blocks) {
+      const Json* cell = block_cell(*block, "counters", info.name);
+      if (cell == nullptr) {
+        set_error(error, std::string("metrics block missing counter ") +
+                             info.name);
+        return std::nullopt;
+      }
+      sum += cell->as_int();
+    }
+    counters[info.name] = sum;
+  }
+  Json gauges = Json::object();
+  for (const obs::MetricInfo& info : obs::gauge_catalog()) {
+    std::int64_t peak = 0;
+    for (const Json* block : blocks) {
+      const Json* cell = block_cell(*block, "gauges", info.name);
+      if (cell == nullptr) {
+        set_error(error,
+                  std::string("metrics block missing gauge ") + info.name);
+        return std::nullopt;
+      }
+      peak = std::max(peak, cell->as_int());
+    }
+    gauges[info.name] = peak;
+  }
+  Json hists = Json::object();
+  for (const obs::HistInfo& info : obs::hist_catalog()) {
+    if (info.wall) continue;  // never in the canonical block
+    const std::size_t buckets = info.edges.size() + 1;
+    std::vector<std::int64_t> counts(buckets, 0);
+    std::int64_t sum = 0;
+    std::int64_t total = 0;
+    for (const Json* block : blocks) {
+      const Json* cell = block_cell(*block, "histograms", info.name);
+      if (cell == nullptr || cell->find("counts") == nullptr ||
+          cell->find("counts")->size() != buckets) {
+        set_error(error, std::string("metrics block histogram ") + info.name +
+                             " is missing or has mismatched buckets");
+        return std::nullopt;
+      }
+      const Json& child_counts = *cell->find("counts");
+      for (std::size_t b = 0; b < buckets; ++b) {
+        counts[b] += child_counts.at(b).as_int();
+      }
+      sum += cell->find("sum") != nullptr ? cell->find("sum")->as_int() : 0;
+      total =
+          total + (cell->find("total") != nullptr ? cell->find("total")->as_int()
+                                                  : 0);
+    }
+    Json edges = Json::array();
+    Json merged_counts = Json::array();
+    for (std::size_t b = 0; b < info.edges.size(); ++b) {
+      edges.push_back(info.edges[b]);
+      merged_counts.push_back(counts[b]);
+    }
+    merged_counts.push_back(counts[info.edges.size()]);
+    Json one = Json::object();
+    one["counts"] = std::move(merged_counts);
+    one["edges"] = std::move(edges);
+    one["sum"] = sum;
+    one["total"] = total;
+    hists[info.name] = std::move(one);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(hists);
+  return out;
+}
+
+std::optional<Json> reduce_city_documents(const std::vector<Json>& children,
+                                          std::string* error) {
+  if (children.empty()) {
+    set_error(error, "no district documents to reduce");
+    return std::nullopt;
+  }
+  const std::int64_t want = static_cast<std::int64_t>(children.size());
+
+  // Order children by params.district and validate the set is exactly
+  // 0..D-1 with each child believing in the same district count.
+  std::vector<const Json*> ordered(children.size(), nullptr);
+  for (const Json& child : children) {
+    const Json* params = child.find("params");
+    const Json* district = params == nullptr ? nullptr
+                                             : params->find("district");
+    const Json* districts = params == nullptr ? nullptr
+                                              : params->find("districts");
+    if (district == nullptr || districts == nullptr) {
+      set_error(error, "child document lacks params.district[s]");
+      return std::nullopt;
+    }
+    if (districts->as_int() != want) {
+      set_error(error, "child documents disagree on the district count");
+      return std::nullopt;
+    }
+    const std::int64_t k = district->as_int();
+    if (k < 0 || k >= want || ordered[static_cast<std::size_t>(k)] != nullptr) {
+      set_error(error,
+                "district indices are not exactly 0..D-1 (duplicate or "
+                "out-of-range district " +
+                    std::to_string(k) + ")");
+      return std::nullopt;
+    }
+    ordered[static_cast<std::size_t>(k)] = &child;
+  }
+
+  // Meta must agree across children once the district index is masked:
+  // same experiment, seed, smoke flag and remaining params.
+  const auto masked_meta = [](const Json& child) {
+    Json meta = Json::object();
+    for (const char* key : {"experiment", "seed", "smoke"}) {
+      if (const Json* v = child.find(key)) meta[key] = *v;
+    }
+    Json params = child.find("params") != nullptr ? *child.find("params")
+                                                  : Json::object();
+    params["district"] = std::int64_t{-1};
+    meta["params"] = std::move(params);
+    return meta;
+  };
+  const std::string reference_meta = masked_meta(*ordered[0]).dump();
+  for (const Json* child : ordered) {
+    if (masked_meta(*child).dump() != reference_meta) {
+      set_error(error,
+                "child documents disagree on experiment/seed/smoke/params");
+      return std::nullopt;
+    }
+  }
+
+  // Concatenate the district entries in district order and re-derive
+  // the survey — the same aggregation the in-process run performs.
+  Json districts_out = Json::array();
+  bool failed = false;
+  std::vector<const Json*> metrics_blocks;
+  for (const Json* child : ordered) {
+    const Json* results = child->find("results");
+    const Json* list = results == nullptr ? nullptr
+                                          : results->find("districts");
+    if (list == nullptr || list->size() != 1) {
+      set_error(error,
+                "child document carries no single-district results entry");
+      return std::nullopt;
+    }
+    districts_out.push_back(list->at(0));
+    if (const Json* f = child->find("failed")) failed = failed || f->as_bool();
+    if (const Json* m = child->find("metrics")) metrics_blocks.push_back(m);
+  }
+  if (!metrics_blocks.empty() && metrics_blocks.size() != children.size()) {
+    set_error(error, "only some child documents carry a metrics block");
+    return std::nullopt;
+  }
+
+  Json doc = masked_meta(*ordered[0]);
+  Json results = Json::object();
+  results["survey"] = aggregate_city_survey(districts_out);
+  results["districts"] = std::move(districts_out);
+  doc["results"] = std::move(results);
+  doc["failed"] = failed;
+  if (!metrics_blocks.empty()) {
+    auto merged = merge_metrics_blocks(metrics_blocks, error);
+    if (!merged.has_value()) return std::nullopt;
+    doc["metrics"] = std::move(*merged);
+  }
+  return doc;
+}
+
+}  // namespace politewifi::runtime

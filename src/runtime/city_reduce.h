@@ -1,0 +1,48 @@
+// Reduction of per-district city survey documents.
+//
+// `pw_run city` can run every district in one process (`--district=-1`)
+// or as one child process per district (`pw_run --city`,
+// tools/pw_city.py). Both paths must produce the *same bytes*, so the
+// aggregation lives here, shared by the in-process experiment and the
+// reducer: the experiment aggregates its district entries directly,
+// the reducer re-assembles child documents and aggregates the same
+// entries after a parse round-trip. The canonical metrics block is
+// all-integer (counters, gauges, histogram cells), so merging child
+// blocks — counters and histogram cells by addition, gauges by max —
+// is exact and equals one registry window spanning all districts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace politewifi::runtime {
+
+/// Aggregates an array of district report entries (WardriveReport
+/// to_json() objects, in district order) into the survey summary:
+/// integer tallies and distances sum, the response rate is recomputed
+/// from the summed tallies. Deterministic given the entries.
+common::Json aggregate_city_survey(const common::Json& districts);
+
+/// Merges canonical metrics blocks from child documents: counters and
+/// histogram counts/sums/totals add, gauges take the max, edges must
+/// agree. The block shape is the fixed obs/ catalogue (every name
+/// present), so iteration runs over the catalogue, and a child block
+/// missing a name is an error (mismatched binaries). Returns nullopt
+/// with *error set on malformed input.
+std::optional<common::Json> merge_metrics_blocks(
+    const std::vector<const common::Json*>& blocks, std::string* error);
+
+/// Reduces one parsed child document per district (any input order)
+/// into the document an in-process `--district=-1` run would emit:
+/// meta must agree across children except `params.district` (rewritten
+/// to -1), district entries concatenate in district order, the survey
+/// is re-aggregated, `failed` ORs, and metrics blocks merge when every
+/// child carries one (a partial set is an error). Returns nullopt with
+/// *error set on inconsistent children.
+std::optional<common::Json> reduce_city_documents(
+    const std::vector<common::Json>& children, std::string* error);
+
+}  // namespace politewifi::runtime

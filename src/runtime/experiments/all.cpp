@@ -6,6 +6,7 @@ void register_builtin_experiments() {
   static const bool once = [] {
     register_quickstart_experiment();
     register_wardriving_experiment();
+    register_city_survey_experiment();
     register_battery_drain_experiment();
     register_keystroke_inference_experiment();
     register_wifi_sensing_experiment();

@@ -12,6 +12,7 @@ namespace politewifi::runtime {
 
 void register_quickstart_experiment();
 void register_wardriving_experiment();
+void register_city_survey_experiment();
 void register_battery_drain_experiment();
 void register_keystroke_inference_experiment();
 void register_wifi_sensing_experiment();

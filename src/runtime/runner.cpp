@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timeline.h"
+#include "runtime/city_driver.h"
 #include "runtime/experiments/all.h"
 #include "runtime/registry.h"
 #include "runtime/run_context.h"
@@ -14,8 +15,9 @@ namespace politewifi::runtime {
 
 namespace {
 
-constexpr const char* kReservedFlags[] = {"list", "names", "all",      "smoke",
-                                          "json", "help",  "metrics", "timeline"};
+constexpr const char* kReservedFlags[] = {
+    "list", "names",   "all",      "smoke", "json",
+    "help", "metrics", "timeline", "city",  "city-reduce"};
 
 bool is_reserved(const std::string& name) {
   for (const char* reserved : kReservedFlags) {
@@ -46,6 +48,15 @@ void print_pw_run_usage() {
       "                      [--timeline[=PATH]]\n"
       "  pw_run --all [--smoke] [--seed=N] [--json[=DIR]] [--metrics[=DIR]]\n"
       "               [--timeline[=DIR]]\n"
+      "  pw_run --city[=P] [--smoke] [--districts=D] [--<param>=<value> ...]\n"
+      "                    [--json[=PATH]] [--metrics[=PATH]]\n"
+      "  pw_run --city-reduce=DIR [--json[=PATH]] [--metrics[=PATH]]\n"
+      "\n"
+      "--city runs the `city` experiment as one child process per\n"
+      "district through a pool of P workers (default 4) and reduces the\n"
+      "child documents into the same bytes a single-process `pw_run city`\n"
+      "emits; --city-reduce reduces district*.json documents written\n"
+      "earlier (tools/pw_city.py uses it).\n"
       "\n"
       "Every run narrates on stdout exactly like the historical example\n"
       "binaries; --json additionally writes the canonical key-sorted JSON\n"
@@ -58,10 +69,8 @@ void print_pw_run_usage() {
       "<experiment>.trace.json). See OBSERVABILITY.md.\n");
 }
 
-/// Writes one output document where its flag asked. `label` names the
-/// flag in diagnostics ("json", "metrics", "timeline"); `default_name`
-/// is used when `arg` is empty (bare flag); `force_dir` treats `arg` as
-/// a directory (--all mode). Returns false on I/O failure.
+}  // namespace
+
 bool write_output(const char* label, const std::string& default_name,
                   const std::string& text, const std::string& arg,
                   bool force_dir) {
@@ -107,6 +116,8 @@ bool write_output(const char* label, const std::string& default_name,
   std::fprintf(stderr, "pw_run: cannot write %s\n", path.c_str());
   return false;
 }
+
+namespace {
 
 bool write_json(const std::string& name, const std::string& json,
                 const std::string& json_arg, bool force_dir) {
@@ -250,6 +261,54 @@ int pw_run_main(int argc, char** argv) {
   std::vector<common::Flag> forwarded;
   for (const auto& flag : parsed->flags) {
     if (!is_reserved(flag.name)) forwarded.push_back(flag);
+  }
+
+  if (const common::Flag* flag = parsed->find_flag("city-reduce")) {
+    if (!flag->value.has_value() || flag->value->empty()) {
+      std::fprintf(stderr, "pw_run: --city-reduce needs a directory: "
+                           "--city-reduce=DIR\n");
+      return 2;
+    }
+    if (!parsed->positionals.empty() || all) {
+      std::fprintf(stderr,
+                   "pw_run: --city-reduce takes no experiment name\n");
+      return 2;
+    }
+    return run_city_reduce(*flag->value, json_arg, metrics_arg);
+  }
+  if (const common::Flag* flag = parsed->find_flag("city")) {
+    // `pw_run --city` implies the `city` experiment; naming it
+    // explicitly is tolerated, anything else is a usage error.
+    if (all || (!parsed->positionals.empty() &&
+                (parsed->positionals.size() != 1 ||
+                 parsed->positionals.front() != "city"))) {
+      std::fprintf(stderr,
+                   "pw_run: --city always runs the city experiment\n");
+      return 2;
+    }
+    CityDriverOptions city;
+    city.argv0 = argv[0];
+    if (flag->value.has_value() && !flag->value->empty()) {
+      std::int64_t procs = 0;
+      if (!common::parse_int64(*flag->value, &procs) || procs < 1 ||
+          procs > 64) {
+        std::fprintf(stderr, "pw_run: --city=P needs a process count in "
+                             "[1, 64], got \"%s\"\n",
+                     flag->value->c_str());
+        return 2;
+      }
+      city.processes = static_cast<int>(procs);
+    }
+    city.smoke = smoke;
+    city.forwarded = forwarded;
+    city.json_arg = json_arg;
+    city.metrics_arg = metrics_arg;
+    if (timeline_arg.has_value()) {
+      std::fprintf(stderr,
+                   "pw_run: note: --timeline is per-process wall time and "
+                   "is not reduced; ignoring it under --city\n");
+    }
+    return run_city_driver(city);
   }
 
   if (all) {

@@ -51,8 +51,17 @@ RunExperimentResult run_experiment(const std::string& name,
                                    bool smoke,
                                    const RunOptions& options = {});
 
-/// Full pw_run CLI (--list / --names / <name> / --all, --smoke, --json).
+/// Full pw_run CLI (--list / --names / <name> / --all, --smoke, --json,
+/// --city / --city-reduce).
 int pw_run_main(int argc, char** argv);
+
+/// Writes one output document where its flag asked. `label` names the
+/// flag in diagnostics ("json", "metrics"); `default_name` is used when
+/// `arg` is empty (bare flag); `force_dir` treats `arg` as a directory
+/// (--all mode). Narrates the path on success; false on I/O failure.
+bool write_output(const char* label, const std::string& default_name,
+                  const std::string& text, const std::string& arg,
+                  bool force_dir);
 
 /// Shared main() for the thin examples/ wrappers: legacy positional
 /// arguments map onto the named parameters in `positional_params`

@@ -61,6 +61,19 @@ std::uint64_t chan_key_of(const Radio& r) {
 
 Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
     : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {
+  PW_CHECK(config_.shards >= 1 && config_.shards <= 256,
+           "MediumConfig::shards out of range");
+  PW_CHECK(config_.shard_cell_m > 0.0, "shard_cell_m must be positive");
+  // Shard lattice factorization: the most-square nx x ny with
+  // nx * ny == shards (2 -> 1x2, 4 -> 2x2, 9 -> 3x3). Until the owner
+  // wires per-shard schedulers, everything homes on the primary.
+  std::uint32_t nx =
+      static_cast<std::uint32_t>(std::sqrt(double(config_.shards)));
+  while (config_.shards % nx != 0) --nx;
+  shard_nx_ = nx;
+  shard_ny_ = static_cast<std::uint32_t>(config_.shards) / nx;
+  shard_schedulers_.assign(1, &scheduler_);
+  memos_.resize(static_cast<std::size_t>(config_.shards));
   ppdu_pool_.set_pooling(config_.pool_ppdus);
   timeline_group_ = obs::allocate_timeline_group();
   // Cell edge = detection range at the EIRP ceiling on 2.4 GHz (the band
@@ -119,9 +132,76 @@ std::uint64_t Medium::cell_key_for(const Position& p) const {
          static_cast<std::uint32_t>(cell_coord(p.y));
 }
 
+void Medium::set_shard_schedulers(std::vector<Scheduler*> schedulers) {
+  PW_CHECK(schedulers.size() == static_cast<std::size_t>(config_.shards),
+           "need exactly one scheduler per shard");
+  PW_CHECK(!schedulers.empty() && schedulers.front() == &scheduler_,
+           "shard 0 must be the medium's primary scheduler");
+  PW_CHECK(radios_.empty(), "set_shard_schedulers after radios attached");
+  shard_schedulers_ = std::move(schedulers);
+}
+
+Scheduler& Medium::shard_scheduler(std::uint64_t shard) const {
+  PW_CHECK(shard < shard_schedulers_.size(),
+           "shard %llu out of range (did an event id lose its tag?)",
+           static_cast<unsigned long long>(shard));
+  return *shard_schedulers_[shard];
+}
+
+std::uint32_t Medium::shard_of(const Position& p) const {
+  if (config_.shards <= 1) return 0;
+  const auto lattice = [this](double v, std::uint32_t n) {
+    const auto cell =
+        static_cast<std::int64_t>(std::floor(v / config_.shard_cell_m));
+    // floor-mod: negative coordinates wrap into [0, n).
+    const std::int64_t m = cell % static_cast<std::int64_t>(n);
+    return static_cast<std::uint32_t>(m < 0 ? m + n : m);
+  };
+  return lattice(p.x, shard_nx_) + shard_nx_ * lattice(p.y, shard_ny_);
+}
+
+void Medium::refresh_shard_horizon(Radio& radio, double speed_mps) const {
+  const TimePoint now = scheduler_.now();
+  if (config_.shards <= 1 || speed_mps <= 0.0) {
+    radio.shard_check_after_ = now;
+    return;
+  }
+  // Conservative cell-exit horizon: the radio cannot cross a super-cell
+  // edge before covering the distance to the nearest one. Called right
+  // after a move (anchor == true position there), so the gap is exact up
+  // to the position quantum, which only delays a check — never skips a
+  // crossing, because on_radio_moved re-checks once the horizon passes.
+  const auto edge_gap = [this](double v) {
+    const double cell = config_.shard_cell_m;
+    const double frac = v - std::floor(v / cell) * cell;
+    return std::min(frac, cell - frac);
+  };
+  const double gap = std::max(
+      std::min(edge_gap(radio.rf_position().x), edge_gap(radio.rf_position().y)) -
+          config_.position_quantum_m,
+      0.0);
+  radio.shard_check_after_ =
+      now + nanoseconds(static_cast<std::int64_t>(gap / speed_mps * 1e9));
+}
+
+void Medium::maybe_migrate_shard(Radio& radio) {
+  if (config_.shards <= 1) return;
+  if (scheduler_.now() < radio.shard_check_after_) return;
+  const std::uint32_t shard = shard_of(radio.rf_position());
+  if (shard == radio.shard_) return;
+  radio.shard_ = shard;
+  radio.scheduler_ = shard_schedulers_[shard];
+  ++stats_.shard_handoffs;
+  PW_COUNT(kShardHandoffs);
+}
+
+Scheduler& Medium::scheduler_for(const Radio& radio) const {
+  return *radio.scheduler_;
+}
+
 void Medium::index_insert(Radio* radio) {
   radio->grid_chan_ = chan_key_of(*radio);
-  radio->grid_cell_ = cell_key_for(radio->position());
+  radio->grid_cell_ = cell_key_for(radio->rf_position());
   auto& cell = grid_[radio->grid_chan_][radio->grid_cell_];
   // Cells stay sorted by attach order, so fan-out can merge them instead
   // of sorting per transmission. Fresh attachments always land at the
@@ -158,6 +238,13 @@ void Medium::index_remove(Radio* radio) {
 
 void Medium::attach(Radio* radio) {
   radio->attach_order_ = next_attach_order_++;
+  if (config_.shards > 1) {
+    PW_CHECK(shard_schedulers_.size() ==
+                 static_cast<std::size_t>(config_.shards),
+             "attach before set_shard_schedulers on a sharded medium");
+    radio->shard_ = shard_of(radio->rf_position());
+    radio->scheduler_ = shard_schedulers_[radio->shard_];
+  }
   radios_.push_back(radio);
   PW_GAUGE_MAX(kMediumRadiosPeak, radios_.size());
   index_insert(radio);
@@ -187,8 +274,9 @@ void Medium::mark_volatile(Radio& radio) {
 
 void Medium::on_radio_moved(Radio& radio) {
   mark_volatile(radio);
+  maybe_migrate_shard(radio);
   if (!radio.grid_indexed_) return;
-  const std::uint64_t cell = cell_key_for(radio.position());
+  const std::uint64_t cell = cell_key_for(radio.rf_position());
   if (cell == radio.grid_cell_) return;
   index_remove(&radio);
   index_insert(&radio);
@@ -212,15 +300,20 @@ double Medium::link_shadowing_db(const Radio& a, const Radio& b) const {
 }
 
 void Medium::maybe_grow_link_cache() {
+  // Each shard's memo gets the full population-scaled capacity: the
+  // growth trigger (and so the generation count) is identical across
+  // shard counts, and a shard only ever probes its own lines.
   const std::size_t want = std::clamp(
       std::bit_ceil(radios_.size() * kLinkCacheLinesPerRadio),
       kLinkCacheMinLines, kLinkCacheMaxLines);
-  if (want <= link_cache_.size()) return;
-  link_cache_.assign(want, LinkBudget{});  // key 0 = empty line
-  link_cache_mask_ = want - 1;
-  link_cache_mru_.assign(want / 2, 0);  // one MRU bit per 2-line set
-  fer_cache_.assign(want, FerMemoEntry{});  // sinr_db NaN = empty line
-  fer_cache_mask_ = want - 1;
+  if (want <= memos_.front().lines.size()) return;
+  for (LinkMemo& memo : memos_) {
+    memo.lines.assign(want, LinkBudget{});  // key 0 = empty line
+    memo.mask = want - 1;
+    memo.mru.assign(want / 2, 0);  // one MRU bit per 2-line set
+    memo.fer_lines.assign(want, FerMemoEntry{});  // sinr_db NaN = empty
+    memo.fer_mask = want - 1;
+  }
   // Growth drops the old contents; the generation gauge makes a cache
   // that keeps reallocating (and therefore keeps missing) visible.
   ++stats_.link_cache_generation;
@@ -228,8 +321,8 @@ void Medium::maybe_grow_link_cache() {
 }
 
 double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
-                                       double sinr_db,
-                                       std::size_t octets) const {
+                                       double sinr_db, std::size_t octets,
+                                       std::uint32_t shard) const {
   const std::uint64_t sinr_bits = std::bit_cast<std::uint64_t>(sinr_db);
   const std::uint32_t packed =
       (std::uint32_t(octets) << 1) |
@@ -237,7 +330,8 @@ double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
   const std::uint64_t h =
       splitmix(sinr_bits ^ (std::uint64_t(packed) << 32) ^
                std::bit_cast<std::uint64_t>(rate.mbps));
-  FerMemoEntry& e = fer_cache_[h & fer_cache_mask_];
+  LinkMemo& memo = memos_[shard];
+  FerMemoEntry& e = memo.fer_lines[h & memo.fer_mask];
   if (std::bit_cast<std::uint64_t>(e.sinr_db) == sinr_bits &&
       e.packed == packed && e.mbps == rate.mbps &&
       e.ndbps == rate.bits_per_symbol) {
@@ -280,7 +374,7 @@ double Medium::raw_link_gain_db(const Radio& tx_radio,
   // LinkBudget contract test both depend on that.
   const double ref = ref_loss_db_for(tx_radio.frequency_hz());
   const double d =
-      std::max(distance(tx_radio.position(), rx_radio.position()), 0.1);
+      std::max(distance(tx_radio.rf_position(), rx_radio.rf_position()), 0.1);
   const double loss =
       ref + 10.0 * config_.path_loss_exponent * std::log10(d / 1.0);
   return -std::max(loss, 0.0) + link_shadowing_db(tx_radio, rx_radio);
@@ -292,7 +386,8 @@ double Medium::link_gain_db(const Radio& tx_radio,
   // (a->b) and (b->a) are distinct entries when the radios are tuned
   // differently. Ids are per-medium and sequential, so they fit 32 bits
   // for any simulation this side of the heat death.
-  const bool cacheable = !link_cache_.empty() &&
+  LinkMemo& memo = memos_[tx_radio.shard_];  // transmitter's shard memo
+  const bool cacheable = !memo.lines.empty() &&
                          tx_radio.id() < (1ULL << 32) &&
                          rx_radio.id() < (1ULL << 32);
   const std::uint64_t key = (tx_radio.id() << 32) | rx_radio.id();
@@ -307,11 +402,11 @@ double Medium::link_gain_db(const Radio& tx_radio,
       // two live links sharing a set coexist instead of evicting each
       // other on every alternation — the thrash the direct-mapped layout
       // shows on scattered fan-out keys.
-      const std::size_t set = h & (link_cache_mask_ >> 1);
-      mru = &link_cache_mru_[set];
+      const std::size_t set = h & (memo.mask >> 1);
+      mru = &memo.mru[set];
       for (int probe = 0; probe < 2; ++probe) {
         const std::uint8_t way = probe == 0 ? *mru : (*mru ^ 1u);
-        LinkBudget* cand = &link_cache_[set * 2 + way];
+        LinkBudget* cand = &memo.lines[set * 2 + way];
         if (cand->key == key &&
             cand->tx_version == tx_radio.geometry_version_ &&
             cand->rx_version == rx_radio.geometry_version_) {
@@ -322,9 +417,9 @@ double Medium::link_gain_db(const Radio& tx_radio,
         }
       }
       victim_way = *mru ^ 1u;
-      line = &link_cache_[set * 2 + victim_way];
+      line = &memo.lines[set * 2 + victim_way];
     } else {
-      line = &link_cache_[h & link_cache_mask_];
+      line = &memo.lines[h & memo.mask];
       if (line->key == key && line->tx_version == tx_radio.geometry_version_ &&
           line->rx_version == rx_radio.geometry_version_) {
         ++stats_.link_cache_hits;
@@ -360,7 +455,7 @@ void Medium::collect_candidates(const Radio& sender, double tx_power_dbm,
   if (git == grid_.end()) return;
   const double r = max_detect_range_m(tx_power_dbm, sender.frequency_hz());
   if (r <= 0.0) return;
-  const Position c = sender.position();
+  const Position c = sender.rf_position();
   const double r2 = r * r;
   const std::int32_t cx0 = cell_coord(c.x - r);
   const std::int32_t cx1 = cell_coord(c.x + r);
@@ -486,7 +581,8 @@ void Medium::build_neighbor_list(Radio& sender, double tx_power_dbm) {
       sender.nb_rx_mw_[i] = dbm_to_mw(rx_dbm);
       std::int64_t prop_ns = 0;
       if (config_.model_propagation_delay) {
-        const double d = distance(sender.position(), e.radio->position());
+        const double d =
+            distance(sender.rf_position(), e.radio->rf_position());
         prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
       }
       sender.nb_prop_ns_[i] = prop_ns;
@@ -539,16 +635,18 @@ void Medium::release_record(std::size_t rec_idx) {
 void Medium::batched_frame_error_rates(const phy::PhyRate& rate,
                                        std::size_t octets,
                                        std::span<const double> sinr_db,
-                                       std::span<double> fer_out) const {
+                                       std::span<double> fer_out,
+                                       std::uint32_t shard) const {
   const std::uint32_t packed =
       (std::uint32_t(octets) << 1) |
       (rate.modulation == phy::Modulation::kDsss ? 1u : 0u);
   const std::uint64_t rate_bits = std::bit_cast<std::uint64_t>(rate.mbps);
+  LinkMemo& memo = memos_[shard];
   const auto line_of = [&](double sinr) -> FerMemoEntry& {
     const std::uint64_t h =
         splitmix(std::bit_cast<std::uint64_t>(sinr) ^
                  (std::uint64_t(packed) << 32) ^ rate_bits);
-    return fer_cache_[h & fer_cache_mask_];
+    return memo.fer_lines[h & memo.fer_mask];
   };
   // Pass 1: probe the memo, gather the misses into dense miss lanes.
   batch_miss_idx_scratch_.clear();
@@ -599,7 +697,7 @@ void Medium::batch_fer_pass(TransmissionRecord& rec) const {
     batch_sinr_scratch_[i] = rec.deliveries[i].power_dbm - noise_floor_dbm_;
   }
   batched_frame_error_rates(rec.tx.rate, rec.ppdu.size(), batch_sinr_scratch_,
-                            batch_fer_scratch_);
+                            batch_fer_scratch_, rec.sender->shard_);
   for (std::size_t i = 0; i < n; ++i) {
     rec.deliveries[i].fer = batch_fer_scratch_[i];
   }
@@ -656,8 +754,8 @@ void Medium::schedule_batch(std::size_t rec_idx, const Radio& sender,
     if (i > 0 && arrival(i).rx_end == arrival(i - 1).rx_end) continue;
     ++stats_.delivery_events;
     PW_COUNT(kMediumDeliveryEvents);
-    scheduler_.schedule_at(arrival(i).rx_end,
-                           [this, rec_idx] { run_batch(rec_idx); });
+    scheduler_for(sender).schedule_at(arrival(i).rx_end,
+                                      [this, rec_idx] { run_batch(rec_idx); });
   }
 }
 
@@ -693,7 +791,8 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
   Duration prop = Duration::zero();
   if (config_.model_propagation_delay) {
     if (prop_ns < 0) {
-      const double d = distance(sender.position(), rx_radio->position());
+      const double d =
+          distance(sender.rf_position(), rx_radio->rf_position());
       prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
     }
     prop = nanoseconds(prop_ns);
@@ -733,8 +832,10 @@ void Medium::begin_reception(Radio& sender, Radio* rx_radio, double rx_dbm,
   // Legacy per-receiver scheduling. The capture list stays under
   // SmallFn's inline budget (the PPDU is a pointer-sized ref, not a
   // per-receiver byte copy), so even this path schedules a city-wide
-  // fan-out without byte copies.
-  scheduler_.schedule_at(
+  // fan-out without byte copies. A cross-shard delivery is mirrored into
+  // the *receiver's* shard stream here; the shared (clock, seq) timebase
+  // makes the merged order identical to the single-heap order.
+  scheduler_for(*rx_radio).schedule_at(
       rx_end, [this, rx_radio, rid, ppdu, tx, rx_start, rx_end, rx_dbm,
                awake_at_start, sender_ptr = &sender]() {
         finalize_reception(rx_radio, rid, ppdu, tx, rx_start, rx_end, rx_dbm,
@@ -771,7 +872,7 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   sender.energy().charge_tx_ramp();
   sender.tx_since_ = start;
   sender.tx_until_ = end;
-  scheduler_.schedule_at(end, [&sender, end] {
+  scheduler_for(sender).schedule_at(end, [&sender, end] {
     sender.energy().set_state(
         sender.sleeping() ? RadioState::kSleep : RadioState::kIdle, end);
   });
@@ -792,6 +893,11 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   const frames::PpduRef& shared_ppdu =
       rec_idx != kNoRecord ? records_[rec_idx]->ppdu : ppdu;
 
+  // Tracks whether any delivery of this PPDU lands on a radio homed on a
+  // different shard (the "boundary mirror" case); counted once per
+  // transmission after the fan-out.
+  bool crossed = false;
+
   // Shared by every fan-out flavor: one volatile (recently moved/retuned)
   // radio, checked from scratch.
   const auto try_receiver = [&](Radio* rx_radio) {
@@ -808,6 +914,7 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
     }
     const double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
     if (rx_dbm < config_.detect_threshold_dbm) return;
+    crossed |= rx_radio->shard_ != sender.shard_;
     begin_reception(sender, rx_radio, rx_dbm, rec_idx, shared_ppdu, tx, start,
                     end);
   };
@@ -866,6 +973,7 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
         // are the cache's fan-out-keyed tier.
         ++stats_.link_cache_hits;
         PW_COUNT(kMediumLinkCacheHits);
+        crossed |= e.radio->shard_ != sender.shard_;
         begin_reception(sender, e.radio, sender.nb_rx_dbm_[i], rec_idx,
                         shared_ppdu, tx, start, end, sender.nb_rx_mw_[i],
                         sender.nb_prop_ns_[i]);
@@ -874,12 +982,18 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
       }
       const double rx_dbm = tx.power_dbm + e.gain_db;
       if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
+      crossed |= e.radio->shard_ != sender.shard_;
       begin_reception(sender, e.radio, rx_dbm, rec_idx, shared_ppdu, tx,
                       start, end);
     }
     while (vit != vend) try_receiver(*vit++);
   };
   fan_out();
+
+  if (crossed) {
+    ++stats_.mirrored_tx;
+    PW_COUNT(kShardMirroredTx);
+  }
 
   if (rec_idx != kNoRecord) {
     TransmissionRecord& rec = *records_[rec_idx];
@@ -993,7 +1107,8 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
     const double fer =
         batch_fer >= 0.0 && interference_mw == 0.0
             ? batch_fer
-            : cached_frame_error_rate(tx.rate, sinr_db, ppdu.size());
+            : cached_frame_error_rate(tx.rate, sinr_db, ppdu.size(),
+                                      sender != nullptr ? sender->shard_ : 0);
     if (rng_.bernoulli(fer)) corrupted = true;
   }
 
@@ -1025,7 +1140,8 @@ void Medium::finalize_reception(Radio* receiver, std::uint64_t reception_id,
       auto it = static_paths_.find(key);
       if (it == static_paths_.end()) {
         Rng path_rng(key ^ seed_);
-        const double d = distance(sender->position(), receiver->position());
+        const double d =
+            distance(sender->rf_position(), receiver->rf_position());
         it = static_paths_.emplace(key, phy::make_static_paths(d, 4, path_rng))
                  .first;
       }
@@ -1047,7 +1163,7 @@ void Medium::audit_radio(const Radio& radio) const {
     PW_CHECK(radio.grid_chan_ == chan_key_of(radio),
              "radio %llu indexed under stale channel key",
              static_cast<unsigned long long>(radio.id()));
-    PW_CHECK(radio.grid_cell_ == cell_key_for(radio.position()),
+    PW_CHECK(radio.grid_cell_ == cell_key_for(radio.rf_position()),
              "radio %llu indexed under stale grid cell (moved without "
              "on_radio_moved?)",
              static_cast<unsigned long long>(radio.id()));
@@ -1118,7 +1234,8 @@ void Medium::audit_radio(const Radio& radio) const {
                static_cast<unsigned long long>(radio.id()));
       std::int64_t prop_ns = 0;
       if (config_.model_propagation_delay) {
-        const double d = distance(radio.position(), e.radio->position());
+        const double d =
+            distance(radio.rf_position(), e.radio->rf_position());
         prop_ns = static_cast<std::int64_t>(d / kSpeedOfLight * 1e9);
       }
       PW_CHECK(radio.nb_prop_ns_[k] == prop_ns,
@@ -1194,23 +1311,25 @@ void Medium::audit_coherence() const {
   // gain a fresh computation produces.
   std::unordered_map<std::uint64_t, const Radio*> by_id;
   for (const Radio* r : radios_) by_id.emplace(r->id(), r);
-  for (const LinkBudget& line : link_cache_) {
-    if (line.key == 0) continue;
-    const auto tx = by_id.find(line.key >> 32);
-    const auto rx = by_id.find(line.key & 0xffffffffULL);
-    if (tx == by_id.end() || rx == by_id.end()) continue;  // detached
-    if (line.tx_version != tx->second->geometry_version_ ||
-        line.rx_version != rx->second->geometry_version_) {
-      continue;  // stale line: the next lookup misses and recomputes
+  for (const LinkMemo& memo : memos_) {
+    for (const LinkBudget& line : memo.lines) {
+      if (line.key == 0) continue;
+      const auto tx = by_id.find(line.key >> 32);
+      const auto rx = by_id.find(line.key & 0xffffffffULL);
+      if (tx == by_id.end() || rx == by_id.end()) continue;  // detached
+      if (line.tx_version != tx->second->geometry_version_ ||
+          line.rx_version != rx->second->geometry_version_) {
+        continue;  // stale line: the next lookup misses and recomputes
+      }
+      const double gain = raw_link_gain_db(*tx->second, *rx->second);
+      PW_CHECK(std::bit_cast<std::uint64_t>(line.gain_db) ==
+                   std::bit_cast<std::uint64_t>(gain),
+               "link cache line %.17g != recomputed %.17g for %llu->%llu "
+               "(position changed without a version bump?)",
+               line.gain_db, gain,
+               static_cast<unsigned long long>(tx->second->id()),
+               static_cast<unsigned long long>(rx->second->id()));
     }
-    const double gain = raw_link_gain_db(*tx->second, *rx->second);
-    PW_CHECK(std::bit_cast<std::uint64_t>(line.gain_db) ==
-                 std::bit_cast<std::uint64_t>(gain),
-             "link cache line %.17g != recomputed %.17g for %llu->%llu "
-             "(position changed without a version bump?)",
-             line.gain_db, gain,
-             static_cast<unsigned long long>(tx->second->id()),
-             static_cast<unsigned long long>(rx->second->id()));
   }
 
   // Indexed-vs-brute-force spot check: for every attached radio the grid
@@ -1231,7 +1350,7 @@ void Medium::audit_coherence() const {
     const double r = max_detect_range_m(probe_dbm, sender->frequency_hz());
     for (Radio* rx : radios_) {
       if (chan_key_of(*rx) != chan_key_of(*sender)) continue;
-      if (distance(sender->position(), rx->position()) > r) continue;
+      if (distance(sender->rf_position(), rx->rf_position()) > r) continue;
       PW_CHECK(std::count(candidates.begin(), candidates.end(), rx) == 1,
                "grid query missed in-range radio %llu for sender %llu",
                static_cast<unsigned long long>(rx->id()),

@@ -27,6 +27,15 @@
 // receivers of a transmission instead of copied per receiver, and the
 // per-receiver reception lists are pruned amortized (when they double)
 // instead of on every push.
+//
+// City scale (the sharded medium): with MediumConfig::shards > 1 the
+// plane is partitioned into super-cells, each homed on its own
+// Scheduler (shared timebase — see sim/shard.h) with its own link/FER
+// memo. Transmissions schedule their events on the sender's shard;
+// legacy per-receiver deliveries land on the receiver's shard (the
+// boundary mirror), and movers migrate shards at cell-exit horizons
+// computed from their mobility model. Byte-identical to shards = 1 by
+// construction; the ShardEquivalence suite enforces it.
 #pragma once
 
 #include <functional>
@@ -101,6 +110,24 @@ struct MediumConfig {
   /// station-observable byte are identical (FanoutEquivalence
   /// property-tests this).
   bool soa_fanout = true;
+  /// Spatial super-cell shards. 1 = the unsharded reference path (one
+  /// scheduler, one memo). > 1 partitions the plane into shard_cell_m
+  /// super-cells interleaved over an nx × ny shard lattice; the owner
+  /// must wire one Scheduler per shard (sharing the primary's timebase)
+  /// through set_shard_schedulers before attaching radios. Every shard
+  /// count yields byte-identical simulations — events merge in global
+  /// (time, seq) order — which ShardEquivalence property-tests for
+  /// 1/2/4/9.
+  int shards = 1;
+  /// Edge length (metres) of one shard super-cell.
+  double shard_cell_m = 256.0;
+  /// Mover position epsilon: set_position only refreshes the RF anchor
+  /// (and so invalidates cached link budgets) once the radio has
+  /// drifted more than this many metres from it. 0 = off, the exact
+  /// reference path; > 0 trades sub-quantum positional accuracy for
+  /// link-cache stability under mobility (the wardrive rig's 1.1 m
+  /// ticks stop thrashing whole cache generations).
+  double position_quantum_m = 0.0;
 };
 
 /// Record of one on-air PPDU (what a perfect sniffer would log). The
@@ -176,6 +203,26 @@ class Medium {
   const MediumConfig& config() const { return config_; }
   Scheduler& scheduler() { return scheduler_; }
 
+  // --- Sharding (see sim/shard.h and DESIGN.md) -----------------------------
+
+  /// Wires the per-shard schedulers (index = shard id). Required before
+  /// any radio attaches when config().shards > 1; `schedulers[0]` must
+  /// be the constructor's scheduler and the others must share its
+  /// timebase (Scheduler::adopt_timebase).
+  void set_shard_schedulers(std::vector<Scheduler*> schedulers);
+  /// The scheduler homing shard `shard` (0 when unsharded).
+  Scheduler& shard_scheduler(std::uint64_t shard) const;
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shard_schedulers_.size());
+  }
+  /// Shard owning position `p`: super-cells interleave over the nx × ny
+  /// shard lattice, so no world bounds are needed.
+  std::uint32_t shard_of(const Position& p) const;
+  /// Recomputes `radio`'s cell-exit horizon from its speed: shard checks
+  /// are skipped until the radio could possibly have left its current
+  /// super-cell. Pure optimization — assignment never affects bytes.
+  void refresh_shard_horizon(Radio& radio, double speed_mps) const;
+
   /// The medium's PPDU buffer pool. Radios draw their outgoing payload
   /// buffers here so every buffer in one simulation recycles through a
   /// single free list.
@@ -230,6 +277,11 @@ class Medium {
     /// Delivery events actually scheduled (batched fan-out folds every
     /// same-arrival-time reception of a transmission into one).
     std::uint64_t delivery_events = 0;
+    /// Sharding: radios migrated to another shard at a cell-exit
+    /// horizon, and transmissions whose fan-out crossed a shard border
+    /// (mirrored into a foreign shard's event stream).
+    std::uint64_t shard_handoffs = 0;
+    std::uint64_t mirrored_tx = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -329,7 +381,8 @@ class Medium {
   void batched_frame_error_rates(const phy::PhyRate& rate,
                                  std::size_t octets,
                                  std::span<const double> sinr_db,
-                                 std::span<double> fer_out) const;
+                                 std::span<double> fer_out,
+                                 std::uint32_t shard) const;
 
   void finalize_reception(Radio* receiver, std::uint64_t reception_id,
                           const frames::PpduRef& ppdu,
@@ -388,9 +441,16 @@ class Medium {
   /// exact (rate, SINR bit pattern, size) triple. Static links see the
   /// same SINR frame after frame, so the erfc/pow chain runs once per
   /// distinct link instead of once per reception. Pure memoization: a hit
-  /// returns exactly the double a fresh computation would.
+  /// returns exactly the double a fresh computation would. `shard`
+  /// selects the transmitter's memo (always 0 when unsharded).
   double cached_frame_error_rate(const phy::PhyRate& rate, double sinr_db,
-                                 std::size_t octets) const;
+                                 std::size_t octets,
+                                 std::uint32_t shard) const;
+  /// Homes `radio` on the shard owning its RF anchor (attach and
+  /// post-horizon moves); rebinds its scheduler.
+  void maybe_migrate_shard(Radio& radio);
+  /// The scheduler homing `radio`'s shard (== scheduler_ unsharded).
+  Scheduler& scheduler_for(const Radio& radio) const;
 
   std::int32_t cell_coord(double v) const;
   std::uint64_t cell_key_for(const Position& p) const;
@@ -404,6 +464,11 @@ class Medium {
 
   Scheduler& scheduler_;
   MediumConfig config_;
+  /// Shard id -> scheduler; {&scheduler_} when unsharded. Shard lattice
+  /// factorization shard = ix mod nx + nx * (iy mod ny).
+  std::vector<Scheduler*> shard_schedulers_;
+  std::uint32_t shard_nx_ = 1;
+  std::uint32_t shard_ny_ = 1;
   mutable Rng rng_;
   std::uint64_t seed_;
   double cell_size_m_ = 0.0;
@@ -421,14 +486,6 @@ class Medium {
   TraceSink trace_;
   CsiProvider csi_;
   mutable Stats stats_;
-  /// Link-budget cache lines (power-of-two count). Direct-mapped mode
-  /// indexes hash & mask; set-associative mode treats lines 2s and 2s+1
-  /// as the two ways of set s = hash & (mask >> 1).
-  mutable std::vector<LinkBudget> link_cache_;
-  std::uint64_t link_cache_mask_ = 0;
-  /// Per-set MRU way (0 or 1) for the set-associative layout; the miss
-  /// victim is the other way (LRU within the set).
-  mutable std::vector<std::uint8_t> link_cache_mru_;
   /// One line of the FER memo. sinr_db is initialized to NaN, which no
   /// real SINR bit pattern matches (compares are on the raw bits).
   struct FerMemoEntry {
@@ -438,8 +495,23 @@ class Medium {
     std::uint32_t packed = 0;  // (octets << 1) | dsss bit
     std::int32_t ndbps = 0;
   };
-  mutable std::vector<FerMemoEntry> fer_cache_;  // direct-mapped, pow-2 size
-  std::uint64_t fer_cache_mask_ = 0;
+  /// One shard's link-budget + FER memo. Lookups key off the
+  /// transmitter's shard so a shard only touches its own lines (cache
+  /// locality is the point of sharding); pure memoization either way,
+  /// so the split never changes a returned double.
+  struct LinkMemo {
+    /// Link-budget cache lines (power-of-two count). Direct-mapped mode
+    /// indexes hash & mask; set-associative mode treats lines 2s and
+    /// 2s+1 as the two ways of set s = hash & (mask >> 1).
+    std::vector<LinkBudget> lines;
+    std::uint64_t mask = 0;
+    /// Per-set MRU way (0 or 1) for the set-associative layout; the
+    /// miss victim is the other way (LRU within the set).
+    std::vector<std::uint8_t> mru;
+    std::vector<FerMemoEntry> fer_lines;  // direct-mapped, pow-2 size
+    std::uint64_t fer_mask = 0;
+  };
+  mutable std::vector<LinkMemo> memos_;  // one per shard; [0] unsharded
   /// Receiver noise floor — a constant of the medium config, hoisted out
   /// of the per-reception SINR math.
   double noise_mw_ = 0.0;

@@ -4,15 +4,16 @@ namespace politewifi::sim {
 
 Radio::Radio(Medium& medium, Scheduler& scheduler, RadioConfig config)
     : medium_(medium),
-      scheduler_(scheduler),
+      scheduler_(&scheduler),
       config_(config),
       position_(config.position),
+      rf_position_(config.position),
       energy_(config.power, scheduler.now()),
       id_(medium.allocate_radio_id()) {
   energy_.set_timeline_ids(medium.timeline_group(),
                            static_cast<std::int64_t>(id_));
-  energy_.set_state(RadioState::kIdle, scheduler_.now());
-  medium_.attach(this);
+  energy_.set_state(RadioState::kIdle, scheduler_->now());
+  medium_.attach(this);  // homes the radio on its shard (rebinds scheduler_)
 }
 
 Radio::~Radio() { medium_.detach(this); }
@@ -20,8 +21,17 @@ Radio::~Radio() { medium_.detach(this); }
 void Radio::set_position(const Position& p) {
   if (position_ == p) return;
   position_ = p;
+  // Sub-quantum drift keeps the RF anchor (and with it every cached link
+  // budget involving this radio) valid; quantum 0 is the exact path.
+  const double quantum = medium_.config().position_quantum_m;
+  if (quantum > 0.0 && distance(p, rf_position_) <= quantum) return;
+  rf_position_ = p;
   ++geometry_version_;
   medium_.on_radio_moved(*this);
+}
+
+void Radio::update_shard_horizon(double speed_mps) {
+  medium_.refresh_shard_horizon(*this, speed_mps);
 }
 
 void Radio::set_channel(int channel) {
@@ -55,7 +65,7 @@ void Radio::deliver(const Bytes& ppdu, const phy::RxVector& rx) {
 void Radio::set_sleeping(bool sleeping) {
   if (sleeping_ == sleeping) return;
   sleeping_ = sleeping;
-  const TimePoint now = scheduler_.now();
+  const TimePoint now = scheduler_->now();
   if (sleeping_) {
     rx_nesting_ = 0;
     energy_.set_state(RadioState::kSleep, now);

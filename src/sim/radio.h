@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "common/check.h"
 #include "frames/frame_template.h"
 #include "frames/serializer.h"
 #include "mac/environment.h"
@@ -38,11 +39,24 @@ class Radio final : public mac::MacEnvironment {
 
   // --- mac::MacEnvironment ---------------------------------------------------
 
-  TimePoint now() const override { return scheduler_.now(); }
+  TimePoint now() const override { return scheduler_->now(); }
+  /// Timer ids carry the issuing shard in the top byte so cancel() can
+  /// route to the scheduler that actually holds the event even after the
+  /// radio migrated shards (each shard's slot/generation space is
+  /// private, so a raw id from shard A could falsely hit a live event on
+  /// shard B). With shards = 1 the tag is 0 and ids are bit-identical to
+  /// the untagged ones.
   std::uint64_t schedule(Duration delay, SmallFn fn) override {
-    return scheduler_.schedule_in(delay, std::move(fn));
+    const std::uint64_t raw = scheduler_->schedule_in(delay, std::move(fn));
+    PW_DCHECK(raw >> kShardIdShift == 0,
+              "event id overflows into the shard tag byte");
+    return raw | std::uint64_t{shard_} << kShardIdShift;
   }
-  void cancel(std::uint64_t timer_id) override { scheduler_.cancel(timer_id); }
+  void cancel(std::uint64_t timer_id) override {
+    if (timer_id == 0) return;
+    medium_.shard_scheduler(timer_id >> kShardIdShift)
+        .cancel(timer_id & ((std::uint64_t{1} << kShardIdShift) - 1));
+  }
   void transmit(const frames::Frame& frame, const phy::TxVector& tx) override;
   bool medium_busy() const override { return medium_.busy_for(*this); }
 
@@ -68,9 +82,24 @@ class Radio final : public mac::MacEnvironment {
   const RadioConfig& config() const { return config_; }
   const Position& position() const { return position_; }
 
+  /// The quantized RF anchor all physics sees (path loss, propagation
+  /// delay, spatial index, shard homing). Tracks position() exactly when
+  /// MediumConfig::position_quantum_m is 0; otherwise it snaps to the
+  /// true position only once the radio has drifted more than the quantum
+  /// away, so a mover's sub-quantum steps stop invalidating cached link
+  /// budgets (see MediumConfig::position_quantum_m).
+  const Position& rf_position() const { return rf_position_; }
+
   /// Moves the radio. Updates the medium's spatial index and invalidates
   /// the cached link budgets involving this radio.
   void set_position(const Position& p);
+
+  /// Tells the medium how fast this radio moves so it can compute the
+  /// cell-exit horizon: the earliest time the radio could leave its
+  /// current shard's super-cell. Shard-migration checks are skipped
+  /// until then (a pure optimization — any assignment is byte-identical
+  /// under the shared-timebase merge, see DESIGN.md).
+  void update_shard_horizon(double speed_mps);
 
   /// Retunes the radio (survey rigs hop channels). Takes effect for the
   /// next PPDU; an in-flight reception on the old channel is lost, which
@@ -100,10 +129,16 @@ class Radio final : public mac::MacEnvironment {
   friend class Medium;
   friend struct MediumTestPeer;  // corruption-injection tests
 
+  static constexpr int kShardIdShift = 56;
+
   Medium& medium_;
-  Scheduler& scheduler_;
+  /// The scheduler of the shard this radio is homed on; rebound by the
+  /// medium when the radio migrates (all shard schedulers share one
+  /// timebase, so now() is shard-independent).
+  Scheduler* scheduler_;
   RadioConfig config_;
   Position position_;
+  Position rf_position_;  // quantized anchor; see rf_position()
   mac::Station* station_ = nullptr;
   EnergyMeter energy_;
   /// Serialize-once/patch-seq cache for this radio's outgoing frames
@@ -144,6 +179,10 @@ class Radio final : public mac::MacEnvironment {
   bool grid_indexed_ = false;
   /// Bumped on every move/retune; tags cached link budgets.
   std::uint32_t geometry_version_ = 0;
+  /// Shard (super-cell) this radio is homed on; 0 when unsharded.
+  std::uint32_t shard_ = 0;
+  /// Cell-exit horizon: migration checks are skipped before this time.
+  TimePoint shard_check_after_ = kSimStart;
 };
 
 }  // namespace politewifi::sim

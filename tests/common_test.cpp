@@ -5,6 +5,8 @@
 #include "common/byte_buffer.h"
 #include "common/clock.h"
 #include "common/crc32.h"
+#include "common/json.h"
+#include "common/json_parse.h"
 #include "common/logging.h"
 #include "common/mac_address.h"
 #include "common/rng.h"
@@ -261,6 +263,87 @@ TEST(Rng, GaussianMoments) {
 }
 
 // --- Logging ---------------------------------------------------------------------------
+
+// --- JSON parser --------------------------------------------------------------
+
+TEST(JsonParse, DumpIsAParseFixedPoint) {
+  common::Json doc = common::Json::object();
+  doc["int"] = std::int64_t{-42};
+  doc["double"] = 0.194662137;
+  doc["big"] = 1.23456789012e17;
+  doc["zero"] = 0.0;
+  doc["bool"] = true;
+  doc["null"] = common::Json();
+  doc["text"] = std::string("tabs\there \"quoted\" slash\\");
+  common::Json list = common::Json::array();
+  list.push_back(std::int64_t{1});
+  list.push_back(2.5);
+  list.push_back("three");
+  doc["list"] = std::move(list);
+
+  const std::string once = doc.dump();
+  std::string error;
+  const auto parsed = common::parse_json(once, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // The round trip is a fixed point: parse(dump(x)) dumps identically.
+  EXPECT_EQ(parsed->dump(), once);
+  const auto twice = common::parse_json(parsed->dump());
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(twice->dump(), once);
+}
+
+TEST(JsonParse, IntegralDoublesComeBackAsInts) {
+  // %.12g renders 3.0 as "3", so the reparse yields an Int; dumping
+  // again still reproduces the same bytes — that is all the reduction
+  // pipeline needs.
+  common::Json doc = common::Json::object();
+  doc["v"] = 3.0;
+  const std::string text = doc.dump();
+  const auto parsed = common::parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("v")->kind(), common::Json::Kind::kInt);
+  EXPECT_EQ(parsed->find("v")->as_double(), 3.0);
+  EXPECT_EQ(parsed->dump(), text);
+}
+
+TEST(JsonParse, UnicodeEscapesAndControlCharactersRoundTrip) {
+  common::Json doc = common::Json::object();
+  doc["ctl"] = std::string("a\x01" "b\x1f");
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  const auto parsed = common::parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("ctl")->as_string(), "a\x01" "b\x1f");
+  // Surrogate pairs decode to UTF-8.
+  const auto emoji = common::parse_json("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(emoji.has_value());
+  EXPECT_EQ(emoji->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(common::parse_json("", &error).has_value());
+  EXPECT_FALSE(common::parse_json("{", &error).has_value());
+  EXPECT_FALSE(common::parse_json("{\"a\":1,}", &error).has_value());
+  EXPECT_FALSE(common::parse_json("[1 2]", &error).has_value());
+  EXPECT_FALSE(common::parse_json("1 2", &error).has_value());
+  EXPECT_FALSE(common::parse_json("NaN", &error).has_value());
+  EXPECT_FALSE(common::parse_json("Infinity", &error).has_value());
+  EXPECT_FALSE(common::parse_json("01", &error).has_value());
+  EXPECT_FALSE(common::parse_json("\"\\ud800\"", &error).has_value());
+  EXPECT_FALSE(common::parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(common::parse_json("truely", &error).has_value());
+  // Errors carry a position.
+  common::parse_json("[1, oops]", &error);
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, ArrayElementAccessIsChecked) {
+  const auto parsed = common::parse_json("[10, 20, 30]");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->at(1).as_int(), 20);
+}
 
 TEST(Logging, SinkReceivesMessagesAtOrAboveLevel) {
   auto& logger = Logger::instance();
