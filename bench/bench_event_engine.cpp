@@ -112,6 +112,7 @@ struct FanoutResult {
   double tx_per_sec = 0.0;
   std::uint64_t link_hits = 0;
   std::uint64_t link_misses = 0;
+  std::uint64_t fading_advances = 0;
 };
 
 /// Transmitters from a small pool rotating among `n` radios scattered
@@ -122,11 +123,23 @@ struct FanoutResult {
 /// hit: each pool member's fan-out repeats every `pool` rounds.
 FanoutResult bench_fanout(bench::PerfReport& perf, std::size_t n,
                           double extent_m, bool use_index, int rounds,
+                          double fading_coherence_us = 0.0,
                           bool note_perf = true) {
+  const bool fading = fading_coherence_us > 0.0;
   sim::Scheduler scheduler;
   sim::MediumConfig mc;
   mc.shadowing_sigma_db = 0.0;
   mc.use_spatial_index = use_index;
+  if (fading) {
+    // Heavily correlated fading: every delivery composes a per-link
+    // AR(1) fade on top of the cached static budget. The caller picks
+    // the coherence interval: short (100 µs) makes the chains advance
+    // on nearly every evaluation (worst-case throughput), long makes
+    // repeat evaluations land in one interval (cache-hit harvest).
+    mc.fading_rho = 0.9;
+    mc.fading_sigma_db = 2.0;
+    mc.fading_coherence_us = fading_coherence_us;
+  }
   sim::Medium medium(scheduler, mc, /*seed=*/7);
 
   // Station-less radios: Radio::deliver drops the PPDU when no MAC is
@@ -162,23 +175,26 @@ FanoutResult bench_fanout(bench::PerfReport& perf, std::size_t n,
       lookups > 0.0 ? double(stats.link_cache_hits) / lookups : 0.0;
   std::printf(
       "  %5zu radios  index=%-3s  %zu tx pool  %7.0f tx/s  "
-      "(%.2f candidates/tx, %.2f receptions/tx, %.1f%% link-cache hits)\n",
+      "(%.2f candidates/tx, %.2f receptions/tx, %.1f%% link-cache hits"
+      "%s)\n",
       n, use_index ? "on" : "off", pool, rounds / dt,
       double(stats.candidates_scanned) / double(stats.transmissions),
       double(stats.receptions) / double(stats.transmissions),
-      hit_rate * 100.0);
+      hit_rate * 100.0, fading ? ", fading on" : "");
   perf.add_events(scheduler.events_executed(), scheduler.now() - kSimStart);
   if (note_perf) {
     char key[64];
-    std::snprintf(key, sizeof key, "fanout_%zu_%s_tx_per_sec", n,
-                  use_index ? "indexed" : "brute");
+    std::snprintf(key, sizeof key, "fanout_%zu_%s%s_tx_per_sec", n,
+                  use_index ? "indexed" : "brute", fading ? "_fading" : "");
     perf.note(key, rounds / dt);
-    std::snprintf(key, sizeof key, "fanout_%zu_%s_link_cache_hit_rate", n,
-                  use_index ? "indexed" : "brute");
-    perf.note(key, hit_rate);
+    if (!fading) {
+      std::snprintf(key, sizeof key, "fanout_%zu_%s_link_cache_hit_rate", n,
+                    use_index ? "indexed" : "brute");
+      perf.note(key, hit_rate);
+    }
   }
   return FanoutResult{rounds / dt, stats.link_cache_hits,
-                      stats.link_cache_misses};
+                      stats.link_cache_misses, stats.fading_advances};
 }
 
 /// City-shard point: the dense fan-out workload routed through a sharded
@@ -371,6 +387,24 @@ int main() {
     }
   }
 
+  bench::section("medium: fan-out under AR(1) fading (rho=0.9, 100 us)");
+  // The dense 5000-radio point again, with the dynamic channel term ON:
+  // every delivery composes a per-link fade on top of the cached static
+  // budget, and each link's AR(1) chain advances ~10k times per sim
+  // second. Gated as its own absolute floor in CI — the fading lane must
+  // stay within striking distance of the static-only fan-out, or the SoA
+  // pipeline has stopped surviving the channel refactor.
+  bool fading_lane_live = true;
+  {
+    const FanoutResult faded = bench_fanout(perf, 5000, 2000.0,
+                                            /*use_index=*/true, rounds,
+                                            /*fading_coherence_us=*/100.0);
+    if (faded.fading_advances == 0) {
+      std::printf("  FAIL fanout_5000_fading: no AR(1) samples drawn\n");
+      fading_lane_live = false;
+    }
+  }
+
   bench::section("city shard: fan-out through the sharded medium");
   // Same density as the 5000-radio point: 2 km square, shard cells at
   // their 256 m default, so a 4-shard lattice interleaves ~64 super-cells
@@ -401,12 +435,17 @@ int main() {
   obs::Registry::reset();
   obs::Registry::set_enabled(true);
   bench_fanout(perf, 500, 2000.0, /*use_index=*/true, /*rounds=*/200,
-               /*note_perf=*/false);
+               /*fading_coherence_us=*/0.0, /*note_perf=*/false);
+  // Long-coherence fading pass: a pool member's turns recur inside one
+  // coherence interval, so the AR(1) lanes serve real cache hits and
+  // bench_compare's fading_cache_hit_rate pair gets data to gate.
+  bench_fanout(perf, 500, 2000.0, /*use_index=*/true, /*rounds=*/200,
+               /*fading_coherence_us=*/2000.0, /*note_perf=*/false);
   bench_ppdu_pipeline(perf, /*zero_copy=*/true, 50, 2000,
                       /*note_perf=*/false);
   obs::Registry::set_enabled(false);
   perf.set_metrics(obs::Registry::to_json());
 
   perf.finish();
-  return pp > 0.0 && fanout_hits_dominate ? 0 : 1;
+  return pp > 0.0 && fanout_hits_dominate && fading_lane_live ? 0 : 1;
 }

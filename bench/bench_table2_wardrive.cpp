@@ -97,6 +97,46 @@ int main() {
             double(ms.fer_cache_hits) /
                 double(ms.fer_cache_hits + ms.fer_cache_misses));
 
+  // --- Fading channel survey --------------------------------------------
+  // The same discover/inject/verify pipeline over a time-correlated
+  // channel (rho = 0.9, sigma = 2 dB, 1 ms coherence): every delivery
+  // composes a per-link AR(1) fade onto the cached static budget, and
+  // marginal survey links flap the way real ones do. The *_per_sec note
+  // rides bench_compare's relative gate plus an absolute CI floor, so
+  // the fading lane cannot quietly fall off the SoA fan-out path.
+  bench::section("fading-channel survey (rho=0.9, sigma=2 dB, 1 ms)");
+  {
+    scenario::CityConfig fading_cfg;
+    fading_cfg.scale = scale / 4.0;
+    fading_cfg.seed = 2020;
+    const scenario::CityPlan fading_plan(
+        scenario::CityPlan::grid_route(2, 500), fading_cfg);
+    sim::SimulationConfig fading_sc{.seed = 2020};
+    fading_sc.medium.position_quantum_m = 4.0;
+    fading_sc.medium.fading_rho = 0.9;
+    fading_sc.medium.fading_sigma_db = 2.0;
+    fading_sc.medium.fading_coherence_us = 1000.0;
+    if (std::getenv("PW_NO_INDEX")) {
+      fading_sc.medium.use_spatial_index = false;
+    }
+    sim::Simulation fading_sim(fading_sc);
+    core::WardriveCampaign fading_campaign(fading_sim, fading_plan, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fading_report = fading_campaign.run();
+    const double dt = seconds_since(t0);
+    const auto& fs = fading_sim.medium().stats();
+    std::printf("  %zu/%zu responded (%.1f%%)\n", fading_report.responded,
+                fading_report.discovered,
+                100.0 * fading_report.response_rate());
+    bench::kvf("survey wall (s)", "%.2f", dt);
+    bench::kvf("AR(1) samples drawn", "%.0f", double(fs.fading_advances));
+    bench::kvf("fading cache hits", "%.0f", double(fs.fading_cache_hits));
+    perf.note("fading_survey_tx_per_sec", double(fs.transmissions) / dt);
+    perf.note("fading_survey_response_rate", fading_report.response_rate());
+    perf.note("fading_advances_per_tx",
+              double(fs.fading_advances) / double(fs.transmissions));
+  }
+
   // --- District scale-out -----------------------------------------------
   // `pw_run --city` splits the survey into one process per district; this
   // phase measures the same split in-process: four quarter-scale district

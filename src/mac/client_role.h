@@ -46,6 +46,15 @@ struct ClientConfig {
 
   phy::PhyRate mgmt_rate = phy::kOfdm6;
   phy::PhyRate data_rate = phy::kOfdm24;
+
+  /// ARF rate adaptation on the client's DCF path (forwarded into
+  /// MacConfig::adaptive_rate): data frames ride the controller's
+  /// current rung instead of the fixed data_rate. Under a
+  /// time-correlated fading channel the resulting ladder trajectory
+  /// (Station::rate_controller().trajectory()) is the rate-adaptation
+  /// observable the fading experiments report.
+  bool adaptive_rate = false;
+  ArfConfig arf{};
 };
 
 struct ClientStats {

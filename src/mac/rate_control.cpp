@@ -4,12 +4,30 @@
 
 namespace politewifi::mac {
 
+static_assert(ArfRateController::kLadder.size() ==
+                  std::tuple_size_v<decltype(ArfTrajectory{}.dwell)>,
+              "trajectory dwell array must cover the whole ladder");
+
 ArfRateController::ArfRateController(ArfConfig config)
     : config_(config),
       index_(std::clamp(config.initial_index, 0,
-                        int(kLadder.size()) - 1)) {}
+                        int(kLadder.size()) - 1)) {
+  trajectory_.min_index = index_;
+  trajectory_.max_index = index_;
+}
+
+void ArfRateController::record_outcome() {
+  ++trajectory_.outcomes;
+  ++trajectory_.dwell[std::size_t(index_)];
+}
+
+void ArfRateController::record_index() {
+  trajectory_.min_index = std::min(trajectory_.min_index, index_);
+  trajectory_.max_index = std::max(trajectory_.max_index, index_);
+}
 
 void ArfRateController::on_success() {
+  record_outcome();
   failure_streak_ = 0;
   probing_ = false;
   if (++success_streak_ >= config_.up_after &&
@@ -17,15 +35,20 @@ void ArfRateController::on_success() {
     ++index_;
     success_streak_ = 0;
     probing_ = true;  // a failure right after the probe reverts it
+    ++trajectory_.upshifts;
+    record_index();
   }
 }
 
 void ArfRateController::on_failure() {
+  record_outcome();
   success_streak_ = 0;
   const int drop_after = probing_ ? 1 : config_.down_after;
   if (++failure_streak_ >= drop_after && index_ > 0) {
     --index_;
     failure_streak_ = 0;
+    ++trajectory_.downshifts;
+    record_index();
   }
   probing_ = false;
 }

@@ -22,6 +22,22 @@ struct ArfConfig {
   int initial_index = 4;  // 24 Mb/s
 };
 
+/// Rate-ladder trajectory: deterministic counters describing how a
+/// controller walked the ladder over its lifetime. Under a
+/// time-correlated fading channel this is the observable that separates
+/// ARF tracking a coherent fade (long dwells, few shifts) from ARF
+/// thrashing on memoryless noise — the fading experiments surface it
+/// per station in their results.
+struct ArfTrajectory {
+  std::uint64_t outcomes = 0;    // success/failure feeds observed
+  std::uint64_t upshifts = 0;    // ladder steps up (probe moves included)
+  std::uint64_t downshifts = 0;  // ladder steps down
+  int min_index = 0;             // lowest rung visited
+  int max_index = 0;             // highest rung visited
+  /// Outcomes fed while sitting at each rung (index = ladder index).
+  std::array<std::uint64_t, 8> dwell{};
+};
+
 class ArfRateController {
  public:
   explicit ArfRateController(ArfConfig config);
@@ -35,16 +51,25 @@ class ArfRateController {
   void on_success();
   void on_failure();
 
+  /// Lifetime ladder walk (see ArfTrajectory).
+  const ArfTrajectory& trajectory() const { return trajectory_; }
+
   static constexpr std::array<phy::PhyRate, 8> kLadder = {
       phy::kOfdm6,  phy::kOfdm9,  phy::kOfdm12, phy::kOfdm18,
       phy::kOfdm24, phy::kOfdm36, phy::kOfdm48, phy::kOfdm54};
 
  private:
+  /// Books one outcome fed at the current rung, then (after the caller
+  /// moved index_) the shift direction and the visited-range extremes.
+  void record_outcome();
+  void record_index();
+
   ArfConfig config_;
   int index_;
   int success_streak_ = 0;
   int failure_streak_ = 0;
   bool probing_ = false;  // just moved up: one failure drops us back
+  ArfTrajectory trajectory_;
 };
 
 }  // namespace politewifi::mac

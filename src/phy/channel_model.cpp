@@ -1,0 +1,134 @@
+#include "phy/channel_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "phy/propagation.h"
+
+namespace politewifi::phy {
+
+namespace {
+
+/// Salt separating the fading innovation stream from the shadowing
+/// stream: both hash the same pair key and seed, and the shadowing draw
+/// consumes counters k and k + 1, so the fading stream must live in an
+/// unrelated region of counter space.
+constexpr std::uint64_t kFadingSalt = 0x8f1d2ab04c96e35dULL;
+
+/// Counter stride between successive innovations. Odd and avalanche-
+/// friendly (the splitmix golden-ratio increment), so n -> base + n *
+/// stride never collides with the paired counter k + 1 of another n.
+constexpr std::uint64_t kCounterStride = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+std::uint64_t ChannelModel::splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ChannelModel::pair_key(std::uint64_t a, std::uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return splitmix(a * 0x100000001b3ULL + b);
+}
+
+ChannelModel::ChannelModel(ChannelParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  PW_CHECK(params_.fading.rho >= 0.0 && params_.fading.rho < 1.0,
+           "fading rho must be in [0, 1)");
+  PW_CHECK(params_.fading.sigma_db >= 0.0,
+           "fading sigma must be non-negative");
+  PW_CHECK(!fading_enabled() || params_.fading.coherence_ns > 0,
+           "fading needs a positive coherence interval");
+  innovation_scale_db_ =
+      params_.fading.sigma_db *
+      std::sqrt(1.0 - params_.fading.rho * params_.fading.rho);
+}
+
+double ChannelModel::reference_loss_db(double frequency_hz) const {
+  for (const RefLossMemo& m : ref_loss_memo_) {
+    if (m.freq_hz == frequency_hz && m.freq_hz != 0.0) return m.ref_loss_db;
+  }
+  // Computed with the model itself, so the memoized value is the exact
+  // double a per-call LogDistancePathLoss construction would produce.
+  const LogDistancePathLoss model(
+      {.exponent = params_.path_loss_exponent,
+       .reference_m = 1.0,
+       .shadowing_sigma_db = 0.0},
+      frequency_hz);
+  const double ref = model.reference_loss_db();
+  ref_loss_memo_[ref_loss_memo_next_++ & 7] = RefLossMemo{frequency_hz, ref};
+  return ref;
+}
+
+double ChannelModel::shadowing_db(std::uint64_t id_a,
+                                  std::uint64_t id_b) const {
+  if (params_.shadowing_sigma_db <= 0.0) return 0.0;
+  // Box-Muller on two deterministic uniforms from the pair key.
+  const std::uint64_t k = pair_key(id_a, id_b) ^ seed_;
+  const double u1 =
+      (double(splitmix(k) >> 11) + 0.5) / 9007199254740992.0;  // (0,1)
+  const double u2 = (double(splitmix(k + 1) >> 11) + 0.5) / 9007199254740992.0;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return z * params_.shadowing_sigma_db;
+}
+
+double ChannelModel::static_gain_db(double frequency_hz, double distance_m,
+                                    std::uint64_t tx_id,
+                                    std::uint64_t rx_id) const {
+  const double ref = reference_loss_db(frequency_hz);
+  const double d = std::max(distance_m, 0.1);
+  const double loss =
+      ref + 10.0 * params_.path_loss_exponent * std::log10(d / 1.0);
+  return -std::max(loss, 0.0) + shadowing_db(tx_id, rx_id);
+}
+
+double ChannelModel::gaussian(std::uint64_t k) {
+  const double u1 =
+      (double(splitmix(k) >> 11) + 0.5) / 9007199254740992.0;  // (0,1)
+  const double u2 = (double(splitmix(k + 1) >> 11) + 0.5) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double ChannelModel::innovation(std::uint64_t link_key,
+                                std::uint64_t n) const {
+  const std::uint64_t base = splitmix(link_key ^ seed_ ^ kFadingSalt);
+  return gaussian(base + n * kCounterStride);
+}
+
+double ChannelModel::advance(FadingState& state, std::uint64_t link_key,
+                             std::uint64_t interval,
+                             std::uint64_t* steps_out) const {
+  if (!fading_enabled()) return 0.0;
+  const std::uint64_t restart =
+      (interval / kBlockIntervals) * kBlockIntervals;
+  std::uint64_t n;
+  double x;
+  if (state.valid && state.interval <= interval && state.interval >= restart) {
+    if (state.interval == interval) return state.value_db;  // pure hit
+    // Continue the chain: stepping from a cached sample replays exactly
+    // the tail of the from-scratch fold, so incremental and cold
+    // evaluations are bit-identical.
+    n = state.interval;
+    x = state.value_db;
+  } else {
+    // Stationary restart at the block boundary: x_restart = sigma * z.
+    n = restart;
+    x = params_.fading.sigma_db * innovation(link_key, restart);
+    if (steps_out != nullptr) ++*steps_out;
+  }
+  const double rho = params_.fading.rho;
+  while (n < interval) {
+    ++n;
+    x = rho * x + innovation_scale_db_ * innovation(link_key, n);
+    if (steps_out != nullptr) ++*steps_out;
+  }
+  state = FadingState{interval, x, true};
+  return x;
+}
+
+}  // namespace politewifi::phy

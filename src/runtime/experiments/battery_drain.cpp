@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/battery_attack.h"
+#include "mac/rate_control.h"
 #include "scenario/device_profiles.h"
 #include "runtime/experiments/all.h"
 #include "runtime/registry.h"
@@ -36,13 +37,35 @@ class BatteryDrainExperiment final : public Experiment {
              .default_value = std::int64_t{15},
              .smoke_value = std::int64_t{5},
              .min_value = 1.0},
+            {.name = "fading_rho",
+             .description = "AR(1) fading autocorrelation per coherence "
+                            "interval (0 = memoryless channel)",
+             .default_value = 0.0,
+             .min_value = 0.0,
+             .max_value = 0.999},
+            {.name = "fading_sigma_db",
+             .description = "stationary fading spread in dB",
+             .default_value = 2.0,
+             .min_value = 0.0},
+            {.name = "fading_coherence_us",
+             .description = "fading coherence interval in microseconds",
+             .default_value = 1000.0,
+             .min_value = 1.0},
+            {.name = "adaptive_rate",
+             .description = "ARF rate adaptation on the sensor (the ladder "
+                            "trajectory lands in results)",
+             .default_value = false},
         },
     };
     return kSpec;
   }
 
   void run(RunContext& ctx) override {
-    const auto sim_holder = ctx.make_sim({.shadowing_sigma_db = 0.0});
+    const auto sim_holder = ctx.make_sim(
+        {.shadowing_sigma_db = 0.0,
+         .fading_rho = ctx.param_double("fading_rho"),
+         .fading_sigma_db = ctx.param_double("fading_sigma_db"),
+         .fading_coherence_us = ctx.param_double("fading_coherence_us")});
     auto& sim = *sim_holder;
 
     mac::ApConfig apc;
@@ -55,6 +78,7 @@ class BatteryDrainExperiment final : public Experiment {
     cc.power_save = true;                    // the whole point
     cc.idle_timeout = milliseconds(100);     // doze after 100 ms idle
     cc.beacon_wake_window = milliseconds(1); // brief beacon listens
+    cc.adaptive_rate = ctx.param_bool("adaptive_rate");
     sim::Device& sensor = sim.add_client(
         "esp8266-sensor", *MacAddress::parse("24:0a:c4:aa:bb:cc"), {4, 0}, cc);
 
@@ -92,6 +116,27 @@ class BatteryDrainExperiment final : public Experiment {
       results["power_increase_x"] = attacked_900 / unattacked;
     } else {
       ctx.fail();
+    }
+
+    // Rate-ladder trajectory of the victim's ARF controller: under a
+    // correlated fade (--fading_rho > 0 with --adaptive_rate) the ladder
+    // tracks the channel instead of thrashing; all-zero when adaptive
+    // rate is off (the controller never gets fed).
+    {
+      const mac::ArfTrajectory& t =
+          sensor.station().rate_controller().trajectory();
+      common::Json ladder;
+      ladder["outcomes"] = t.outcomes;
+      ladder["upshifts"] = t.upshifts;
+      ladder["downshifts"] = t.downshifts;
+      ladder["min_index"] = t.min_index;
+      ladder["max_index"] = t.max_index;
+      ladder["final_index"] =
+          sensor.station().rate_controller().ladder_index();
+      common::Json dwell = common::Json::array();
+      for (const std::uint64_t d : t.dwell) dwell.push_back(d);
+      ladder["dwell"] = std::move(dwell);
+      results["rate_ladder"] = std::move(ladder);
     }
 
     std::printf("\nBattery-life projections at the attacked draw:\n");

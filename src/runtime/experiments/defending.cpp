@@ -38,6 +38,21 @@ class DefendingExperiment final : public Experiment {
              .description = "battery-drain flood rate in round 3",
              .default_value = 900.0,
              .min_value = 1.0},
+            {.name = "fading_rho",
+             .description = "AR(1) fading autocorrelation per coherence "
+                            "interval (0 = memoryless channel); stresses "
+                            "the detector and guard under link flap",
+             .default_value = 0.0,
+             .min_value = 0.0,
+             .max_value = 0.999},
+            {.name = "fading_sigma_db",
+             .description = "stationary fading spread in dB",
+             .default_value = 2.0,
+             .min_value = 0.0},
+            {.name = "fading_coherence_us",
+             .description = "fading coherence interval in microseconds",
+             .default_value = 1000.0,
+             .min_value = 1.0},
         },
     };
     return kSpec;
@@ -45,13 +60,18 @@ class DefendingExperiment final : public Experiment {
 
   void run(RunContext& ctx) override {
     auto& results = ctx.results();
+    const sim::MediumConfig medium{
+        .shadowing_sigma_db = 0.0,
+        .fading_rho = ctx.param_double("fading_rho"),
+        .fading_sigma_db = ctx.param_double("fading_sigma_db"),
+        .fading_coherence_us = ctx.param_double("fading_coherence_us")};
 
     // --- Round 1: deauth DoS vs 802.11w -----------------------------------
     std::printf("Round 1: the classic deauth DoS vs 802.11w PMF\n");
     auto& round1 = results["round1_deauth"];
     for (const bool pmf : {false, true}) {
       const auto sim_holder =
-          ctx.make_sim({.shadowing_sigma_db = 0.0}, /*seed_offset=*/0);
+          ctx.make_sim(medium, /*seed_offset=*/0);
       auto& sim = *sim_holder;
       mac::ApConfig apc;
       apc.fast_keys = true;
@@ -96,7 +116,7 @@ class DefendingExperiment final : public Experiment {
     std::printf("\nRound 2: a guardian node watches the air\n");
     {
       const auto sim_holder =
-          ctx.make_sim({.shadowing_sigma_db = 0.0}, /*seed_offset=*/1);
+          ctx.make_sim(medium, /*seed_offset=*/1);
       auto& sim = *sim_holder;
       mac::ApConfig apc;
       apc.fast_keys = true;
@@ -157,7 +177,7 @@ class DefendingExperiment final : public Experiment {
     auto& round3 = results["round3_battery"];
     for (const bool guarded : {false, true}) {
       const auto sim_holder =
-          ctx.make_sim({.shadowing_sigma_db = 0.0}, /*seed_offset=*/2);
+          ctx.make_sim(medium, /*seed_offset=*/2);
       auto& sim = *sim_holder;
       mac::ApConfig apc;
       apc.fast_keys = true;

@@ -32,6 +32,21 @@ class WardrivingExperiment final : public Experiment {
              .min_value = 0.0,
              .max_value = 4.0,
              .min_exclusive = true},
+            {.name = "fading_rho",
+             .description = "AR(1) fading autocorrelation per coherence "
+                            "interval (0 = memoryless channel); marginal "
+                            "survey links flap the way real channels do",
+             .default_value = 0.0,
+             .min_value = 0.0,
+             .max_value = 0.999},
+            {.name = "fading_sigma_db",
+             .description = "stationary fading spread in dB",
+             .default_value = 2.0,
+             .min_value = 0.0},
+            {.name = "fading_coherence_us",
+             .description = "fading coherence interval in microseconds",
+             .default_value = 1000.0,
+             .min_value = 1.0},
         },
     };
     return kSpec;
@@ -52,7 +67,10 @@ class WardrivingExperiment final : public Experiment {
                 plan.route_length_m() / 1000.0, scale);
     std::printf("Driving the survey rig (discover / inject / verify)...\n\n");
 
-    const auto sim_holder = ctx.make_sim();
+    const auto sim_holder = ctx.make_sim(
+        {.fading_rho = ctx.param_double("fading_rho"),
+         .fading_sigma_db = ctx.param_double("fading_sigma_db"),
+         .fading_coherence_us = ctx.param_double("fading_coherence_us")});
     auto& sim = *sim_holder;
     core::WardriveCampaign campaign(sim, plan);
     const auto report = campaign.run();

@@ -60,7 +60,19 @@ std::uint64_t chan_key_of(const Radio& r) {
 }  // namespace
 
 Medium::Medium(Scheduler& scheduler, MediumConfig config, std::uint64_t seed)
-    : scheduler_(scheduler), config_(config), rng_(seed), seed_(seed) {
+    : scheduler_(scheduler),
+      config_(config),
+      rng_(seed),
+      seed_(seed),
+      channel_(
+          phy::ChannelParams{
+              .path_loss_exponent = config.path_loss_exponent,
+              .shadowing_sigma_db = config.shadowing_sigma_db,
+              .fading = {.rho = config.fading_rho,
+                         .sigma_db = config.fading_sigma_db,
+                         .coherence_ns = static_cast<std::int64_t>(
+                             config.fading_coherence_us * 1000.0)}},
+          seed) {
   PW_CHECK(config_.shards >= 1 && config_.shards <= 256,
            "MediumConfig::shards out of range");
   PW_CHECK(config_.shard_cell_m > 0.0, "shard_cell_m must be positive");
@@ -289,14 +301,7 @@ void Medium::on_radio_retuned(Radio& radio) {
 }
 
 double Medium::link_shadowing_db(const Radio& a, const Radio& b) const {
-  if (config_.shadowing_sigma_db <= 0.0) return 0.0;
-  // Box-Muller on two deterministic uniforms from the pair key.
-  const std::uint64_t k = pair_key(a.id(), b.id()) ^ seed_;
-  const double u1 =
-      (double(splitmix(k) >> 11) + 0.5) / 9007199254740992.0;  // (0,1)
-  const double u2 = (double(splitmix(k + 1) >> 11) + 0.5) / 9007199254740992.0;
-  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
-  return z * config_.shadowing_sigma_db;
+  return channel_.shadowing_db(a.id(), b.id());
 }
 
 void Medium::maybe_grow_link_cache() {
@@ -313,7 +318,17 @@ void Medium::maybe_grow_link_cache() {
     memo.mru.assign(want / 2, 0);  // one MRU bit per 2-line set
     memo.fer_lines.assign(want, FerMemoEntry{});  // sinr_db NaN = empty
     memo.fer_mask = want - 1;
+    if (channel_.fading_enabled()) {
+      // Fading state is pair-keyed (reciprocal links share a line), so
+      // half the link-cache line count covers the same population.
+      memo.fading_lines.assign(want / 2, FadingLine{});
+      memo.fading_mask = want / 2 - 1;
+    }
   }
+  // Growth drops every link's cached fading chain position (the values
+  // are pure functions, so nothing observable changes — the next
+  // evaluation just restarts from a block boundary).
+  fading_links_live_ = 0;
   // Growth drops the old contents; the generation gauge makes a cache
   // that keeps reallocating (and therefore keeps missing) visible.
   ++stats_.link_cache_generation;
@@ -349,35 +364,54 @@ double Medium::cached_frame_error_rate(const phy::PhyRate& rate,
   return fer;
 }
 
-double Medium::ref_loss_db_for(double frequency_hz) const {
-  for (const RefLossMemo& m : ref_loss_memo_) {
-    if (m.freq_hz == frequency_hz && m.freq_hz != 0.0) return m.ref_loss_db;
-  }
-  // Computed with the model itself, so the memoized value is the exact
-  // double a per-call LogDistancePathLoss construction used to produce.
-  const phy::LogDistancePathLoss model(
-      {.exponent = config_.path_loss_exponent,
-       .reference_m = 1.0,
-       .shadowing_sigma_db = 0.0},
-      frequency_hz);
-  const double ref = model.reference_loss_db();
-  ref_loss_memo_[ref_loss_memo_next_++ & 7] = RefLossMemo{frequency_hz, ref};
-  return ref;
-}
-
 double Medium::raw_link_gain_db(const Radio& tx_radio,
                                 const Radio& rx_radio) const {
-  // Inlined LogDistancePathLoss::loss_db (reference_m = 1.0, no rng)
-  // with the reference-loss term memoized per frequency: expression and
-  // evaluation order match the model exactly, so this is bit-identical
-  // to constructing the model per call — the coherence auditor and the
-  // LinkBudget contract test both depend on that.
-  const double ref = ref_loss_db_for(tx_radio.frequency_hz());
-  const double d =
-      std::max(distance(tx_radio.rf_position(), rx_radio.rf_position()), 0.1);
-  const double loss =
-      ref + 10.0 * config_.path_loss_exponent * std::log10(d / 1.0);
-  return -std::max(loss, 0.0) + link_shadowing_db(tx_radio, rx_radio);
+  // The channel model inlines LogDistancePathLoss::loss_db
+  // (reference_m = 1.0, no rng) with the reference-loss term memoized
+  // per frequency: expression and evaluation order match the model
+  // exactly, so this is bit-identical to constructing the model per
+  // call — the coherence auditor and the LinkBudget contract test both
+  // depend on that.
+  return channel_.static_gain_db(
+      tx_radio.frequency_hz(),
+      distance(tx_radio.rf_position(), rx_radio.rf_position()),
+      tx_radio.id(), rx_radio.id());
+}
+
+double Medium::link_fading_db(const Radio& a, const Radio& b,
+                              std::uint64_t interval,
+                              std::uint32_t shard) const {
+  const std::uint64_t key = pair_key(a.id(), b.id());
+  LinkMemo& memo = memos_[shard];
+  phy::ChannelModel::FadingState scratch;
+  phy::ChannelModel::FadingState* state = &scratch;
+  if (!memo.fading_lines.empty()) {
+    // Direct-mapped probe (the pair key is already a splitmix output).
+    FadingLine& line = memo.fading_lines[key & memo.fading_mask];
+    if (line.key != key) {
+      if (line.key == 0) {
+        // Cold fill, not a collision: one more link holds live state.
+        ++fading_links_live_;
+        if (fading_links_live_ > stats_.fading_links_peak) {
+          stats_.fading_links_peak = fading_links_live_;
+        }
+        PW_GAUGE_MAX(kMediumFadingLinksPeak, fading_links_live_);
+      }
+      line.key = key;
+      line.state = phy::ChannelModel::FadingState{};
+    }
+    state = &line.state;
+  }
+  std::uint64_t steps = 0;
+  const double fade_db = channel_.advance(*state, key, interval, &steps);
+  if (steps == 0) {
+    ++stats_.fading_cache_hits;
+    PW_COUNT(kMediumFadingCacheHits);
+  } else {
+    stats_.fading_advances += steps;
+    PW_COUNT_N(kMediumFadingAdvances, steps);
+  }
+  return fade_db;
 }
 
 double Medium::link_gain_db(const Radio& tx_radio,
@@ -898,6 +932,18 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
   // transmission after the fan-out.
   bool crossed = false;
 
+  // Dynamic fading: evaluated once per transmission at the *transmit*
+  // start's coherence interval (a pure function of sim time, so the
+  // draw is schedule- and shard-independent), composed on top of the
+  // cached static budget per receiver below. The fade only modulates
+  // power within the statically-detectable set: a down-fade below the
+  // detection threshold drops the reception, but an up-fade never
+  // resurrects a link the static budget ruled out — that contract keeps
+  // the spatial index's query radius exact with zero fading margin.
+  const bool fading = channel_.fading_enabled();
+  const std::uint64_t fading_interval =
+      fading ? channel_.interval_at(start.time_since_epoch().count()) : 0;
+
   // Shared by every fan-out flavor: one volatile (recently moved/retuned)
   // radio, checked from scratch.
   const auto try_receiver = [&](Radio* rx_radio) {
@@ -912,8 +958,13 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
         rx_radio->config().channel != sender.config().channel) {
       return;
     }
-    const double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
+    double rx_dbm = rx_power_dbm(sender, tx.power_dbm, *rx_radio);
     if (rx_dbm < config_.detect_threshold_dbm) return;
+    if (fading) {
+      rx_dbm +=
+          link_fading_db(sender, *rx_radio, fading_interval, sender.shard_);
+      if (rx_dbm < config_.detect_threshold_dbm) return;  // faded below
+    }
     crossed |= rx_radio->shard_ != sender.shard_;
     begin_reception(sender, rx_radio, rx_dbm, rec_idx, shared_ppdu, tx, start,
                     end);
@@ -970,18 +1021,34 @@ PW_HOT void Medium::transmit(Radio& sender, frames::PpduRef ppdu,
       if (lane_replay) {
         // Pure loads: precomputed rx power, linear power and propagation
         // delay. Counts as a link-cache hit — the per-transmitter lanes
-        // are the cache's fan-out-keyed tier.
+        // are the cache's fan-out-keyed tier. The lanes hold the
+        // *static* budget; the fade composes here (same expressions as
+        // the scalar path, so both spellings stay bit-identical), and a
+        // fade-dropped entry shorts lane_pushes so schedule_batch falls
+        // back to the index sort instead of the precomputed rank lane.
         ++stats_.link_cache_hits;
         PW_COUNT(kMediumLinkCacheHits);
+        double rx_dbm = sender.nb_rx_dbm_[i];
+        double rx_mw = sender.nb_rx_mw_[i];
+        if (fading) {
+          rx_dbm +=
+              link_fading_db(sender, *e.radio, fading_interval, sender.shard_);
+          if (rx_dbm < config_.detect_threshold_dbm) continue;  // faded below
+          rx_mw = dbm_to_mw(rx_dbm);
+        }
         crossed |= e.radio->shard_ != sender.shard_;
-        begin_reception(sender, e.radio, sender.nb_rx_dbm_[i], rec_idx,
-                        shared_ppdu, tx, start, end, sender.nb_rx_mw_[i],
-                        sender.nb_prop_ns_[i]);
+        begin_reception(sender, e.radio, rx_dbm, rec_idx, shared_ppdu, tx,
+                        start, end, rx_mw, sender.nb_prop_ns_[i]);
         ++lane_pushes;
         continue;
       }
-      const double rx_dbm = tx.power_dbm + e.gain_db;
+      double rx_dbm = tx.power_dbm + e.gain_db;
       if (rx_dbm < config_.detect_threshold_dbm) continue;  // quieter frame
+      if (fading) {
+        rx_dbm +=
+            link_fading_db(sender, *e.radio, fading_interval, sender.shard_);
+        if (rx_dbm < config_.detect_threshold_dbm) continue;  // faded below
+      }
       crossed |= e.radio->shard_ != sender.shard_;
       begin_reception(sender, e.radio, rx_dbm, rec_idx, shared_ppdu, tx,
                       start, end);
@@ -1329,6 +1396,24 @@ void Medium::audit_coherence() const {
                line.gain_db, gain,
                static_cast<unsigned long long>(tx->second->id()),
                static_cast<unsigned long long>(rx->second->id()));
+    }
+  }
+
+  // Fading-state lines are caches of a pure function: every live line
+  // must hold exactly the value a from-scratch evaluation of its
+  // (link, interval) produces, or the incremental advance drifted off
+  // the counter-based stream.
+  for (const LinkMemo& memo : memos_) {
+    for (const FadingLine& line : memo.fading_lines) {
+      if (line.key == 0 || !line.state.valid) continue;
+      const double fresh = channel_.fading_db(line.key, line.state.interval);
+      PW_CHECK(std::bit_cast<std::uint64_t>(line.state.value_db) ==
+                   std::bit_cast<std::uint64_t>(fresh),
+               "fading line %.17g != recomputed %.17g for link key %llu at "
+               "interval %llu",
+               line.state.value_db, fresh,
+               static_cast<unsigned long long>(line.key),
+               static_cast<unsigned long long>(line.state.interval));
     }
   }
 

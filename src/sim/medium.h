@@ -50,6 +50,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "frames/ppdu.h"
+#include "phy/channel_model.h"
 #include "phy/csi.h"
 #include "phy/error_model.h"
 #include "phy/propagation.h"
@@ -65,6 +66,21 @@ struct MediumConfig {
   /// Per-link log-normal shadowing spread; drawn once per (tx, rx) pair so
   /// a link's budget is stable across frames.
   double shadowing_sigma_db = 4.0;
+  /// AR(1) time-correlated fading on top of the static budget (see
+  /// phy::ChannelModel): one-interval autocorrelation in [0, 1). 0 = the
+  /// off-switch — the fading term is never evaluated and the simulation
+  /// is byte-identical to the memoryless channel (ChannelEquivalence
+  /// property-tests this). The fade modulates power only *within* the
+  /// statically-detectable reception set: a down-fade below
+  /// detect_threshold_dbm drops the reception, but an up-fade never
+  /// resurrects a link the static budget already ruled out, so the
+  /// spatial index's detection disc stays exact with zero margin.
+  double fading_rho = 0.0;
+  /// Stationary standard deviation of the fading term (dB).
+  double fading_sigma_db = 2.0;
+  /// Fading coherence interval in sim-time microseconds: the fade is
+  /// re-sampled once per interval (lazily, per link), constant within.
+  double fading_coherence_us = 1000.0;
   double cs_threshold_dbm = -82.0;      // carrier-sense busy level
   double detect_threshold_dbm = -94.0;  // below this a frame is invisible
   double capture_margin_db = 10.0;      // SIR needed to survive a collision
@@ -232,9 +248,15 @@ class Medium {
   /// Deterministic per-link shadowing in dB (exposed for tests).
   double link_shadowing_db(const Radio& a, const Radio& b) const;
 
-  /// Link budget: received power at `rx` for a transmission from `tx`.
+  /// The channel model computing both budget terms (exposed for tests:
+  /// the equivalence suites replay its pure fading function directly).
+  const phy::ChannelModel& channel() const { return channel_; }
+
+  /// *Static* link budget: received power at `rx` for a transmission
+  /// from `tx` before any dynamic fading — path loss + shadowing only.
   /// Memoized per directed link; invalidated when either radio moves or
-  /// retunes (position-versioned).
+  /// retunes (position-versioned). The fading term composes on top at
+  /// fan-out time (see transmit).
   double rx_power_dbm(const Radio& tx_radio, double tx_power_dbm,
                       const Radio& rx_radio) const;
 
@@ -282,6 +304,16 @@ class Medium {
     /// (mirrored into a foreign shard's event stream).
     std::uint64_t shard_handoffs = 0;
     std::uint64_t mirrored_tx = 0;
+    /// AR(1) fading: samples actually drawn (stationary restarts plus
+    /// chain steps) vs evaluations served straight from a link's cached
+    /// fading state without drawing anything. The *values* are pure
+    /// functions of (link, interval) — these counters only describe how
+    /// much work the lazy advance did, so they are shard- and
+    /// schedule-dependent (ShardEquivalence carves them out).
+    std::uint64_t fading_advances = 0;
+    std::uint64_t fading_cache_hits = 0;
+    /// Peak number of links holding live fading state across all shards.
+    std::uint64_t fading_links_peak = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -417,18 +449,23 @@ class Medium {
   void build_neighbor_list(Radio& sender, double tx_power_dbm);
 
   double link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
-  /// The pure link-budget computation (path loss + deterministic
-  /// shadowing), bypassing the memo. link_gain_db's miss path and the
-  /// coherence auditor both call this, so "cache hit == fresh recompute"
-  /// is checkable bit-for-bit. (The frequency → reference-loss term is
-  /// itself memoized — see ref_loss_db_for — with the model's exact
-  /// expression, so the memo is bit-transparent.)
+  /// The pure *static* link-budget computation (path loss +
+  /// deterministic shadowing), bypassing the memo — a thin wrapper over
+  /// phy::ChannelModel::static_gain_db. link_gain_db's miss path and
+  /// the coherence auditor both call this, so "cache hit == fresh
+  /// recompute" is checkable bit-for-bit. (The frequency →
+  /// reference-loss term is memoized inside the channel model with the
+  /// propagation model's exact expression, so the memo is
+  /// bit-transparent.)
   double raw_link_gain_db(const Radio& tx_radio, const Radio& rx_radio) const;
-  /// Friis reference loss at 1 m for `frequency_hz`, memoized per
-  /// frequency (a fleet tunes a handful of channels). Evaluates exactly
-  /// LogDistancePathLoss::reference_loss_db, so memoized and fresh
-  /// values are bit-identical.
-  double ref_loss_db_for(double frequency_hz) const;
+  /// The dynamic fading term for the (a, b) link at coherence interval
+  /// `interval`, served through shard `shard`'s fading-state lines: a
+  /// line holding this link at this interval is a pure cache hit;
+  /// anything else advances (or restarts) the AR(1) chain. The returned
+  /// value is a pure function of (pair key, interval) regardless of
+  /// cache state, which is what keeps every shard count byte-identical.
+  double link_fading_db(const Radio& a, const Radio& b,
+                        std::uint64_t interval, std::uint32_t shard) const;
   /// One sender's slice of audit_coherence: its grid residency and (when
   /// valid) its cached neighbor list vs the brute-force reception set.
   void audit_radio(const Radio& radio) const;
@@ -471,6 +508,11 @@ class Medium {
   std::uint32_t shard_ny_ = 1;
   mutable Rng rng_;
   std::uint64_t seed_;
+  /// Static-geometry + dynamic-fading math (see phy/channel_model.h).
+  /// Owns the per-frequency reference-loss memo, the shadowing draw and
+  /// the counter-based fading streams; the medium's caches store only
+  /// what this model computes.
+  phy::ChannelModel channel_;
   double cell_size_m_ = 0.0;
   std::vector<Radio*> radios_;
   std::unordered_map<std::uint64_t, CellMap> grid_;  // chan key -> cells
@@ -499,6 +541,16 @@ class Medium {
   /// transmitter's shard so a shard only touches its own lines (cache
   /// locality is the point of sharding); pure memoization either way,
   /// so the split never changes a returned double.
+  /// One link's cached AR(1) fading chain position (see
+  /// phy::ChannelModel::FadingState). Keyed by the order-independent
+  /// pair key; 0 = empty. Purely a cache of the pure fading function,
+  /// so a collision overwriting a line (or a shard split partitioning
+  /// the lines differently) never changes a returned value — only how
+  /// many samples the next advance has to draw.
+  struct FadingLine {
+    std::uint64_t key = 0;
+    phy::ChannelModel::FadingState state;
+  };
   struct LinkMemo {
     /// Link-budget cache lines (power-of-two count). Direct-mapped mode
     /// indexes hash & mask; set-associative mode treats lines 2s and
@@ -510,6 +562,10 @@ class Medium {
     std::vector<std::uint8_t> mru;
     std::vector<FerMemoEntry> fer_lines;  // direct-mapped, pow-2 size
     std::uint64_t fer_mask = 0;
+    /// Dynamic-fading state lines (direct-mapped, pow-2), allocated only
+    /// when fading is enabled — the rho = 0 path never touches them.
+    std::vector<FadingLine> fading_lines;
+    std::uint64_t fading_mask = 0;
   };
   mutable std::vector<LinkMemo> memos_;  // one per shard; [0] unsharded
   /// Receiver noise floor — a constant of the medium config, hoisted out
@@ -524,14 +580,10 @@ class Medium {
   };
   mutable RangeMemo range_memo_[8];
   mutable unsigned range_memo_next_ = 0;
-  /// Tiny frequency -> Friis reference-loss memo (see ref_loss_db_for):
-  /// hoists a log10 out of every link-budget recompute.
-  struct RefLossMemo {
-    double freq_hz = 0.0;
-    double ref_loss_db = 0.0;
-  };
-  mutable RefLossMemo ref_loss_memo_[8];
-  mutable unsigned ref_loss_memo_next_ = 0;
+  /// Links currently holding live fading state across all shards (the
+  /// fading_links_peak gauge tracks its high-water mark). Reset when
+  /// cache growth drops the lines.
+  mutable std::uint64_t fading_links_live_ = 0;
   mutable std::vector<Radio*> scratch_;  // fan-out candidate buffer (reused)
   // SoA batch-pass scratch lanes, reused across transmissions (the pass
   // runs synchronously inside transmit(), so there is no re-entrancy to

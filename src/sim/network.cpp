@@ -57,8 +57,12 @@ Device& Simulation::add_client(const std::string& name, const MacAddress& mac,
   radio.position = position;
   radio.power = config.power_save ? PowerProfile::esp8266()
                                   : PowerProfile::mains_powered();
+  mac::MacConfig overrides;
+  overrides.adaptive_rate = config.adaptive_rate;
+  overrides.arf = config.arf;
   Device& device = add_device(
-      DeviceInfo{.name = name, .kind = DeviceKind::kClient}, mac, radio);
+      DeviceInfo{.name = name, .kind = DeviceKind::kClient}, mac, radio,
+      overrides);
   device.make_client(std::move(config));
   return device;
 }

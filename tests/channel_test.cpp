@@ -1,0 +1,308 @@
+// Channel-model tests: the static/dynamic decomposition, the AR(1)
+// fading stream's purity and moments, and the ChannelEquivalence
+// property — `fading_rho = 0` must be byte-identical to the memoryless
+// channel across every engine configuration (sharded/unsharded × SoA
+// fan-out on/off), all the way up to the survey document the runtime
+// publishes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/injector.h"
+#include "phy/channel_model.h"
+#include "phy/propagation.h"
+#include "runtime/experiments/all.h"
+#include "runtime/runner.h"
+#include "sim/mobility.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+using namespace politewifi;
+
+namespace {
+
+phy::ChannelParams fading_params(double rho, double sigma_db,
+                                 std::int64_t coherence_ns = 1'000'000) {
+  phy::ChannelParams p;
+  p.fading = {.rho = rho, .sigma_db = sigma_db, .coherence_ns = coherence_ns};
+  return p;
+}
+
+// --- The dynamic term: AR(1) stream contract ---------------------------------
+
+TEST(ChannelModel, FadingDisabledDrawsNothing) {
+  for (const auto& ch :
+       {phy::ChannelModel(fading_params(0.0, 2.0), 7),     // the off-switch
+        phy::ChannelModel(fading_params(0.5, 0.0), 7)}) {  // degenerate sigma
+    EXPECT_FALSE(ch.fading_enabled());
+    phy::ChannelModel::FadingState st;
+    std::uint64_t steps = 0;
+    EXPECT_EQ(ch.advance(st, 123, 42, &steps), 0.0);
+    EXPECT_EQ(steps, 0u);
+  }
+  EXPECT_TRUE(phy::ChannelModel(fading_params(0.5, 2.0), 7).fading_enabled());
+}
+
+TEST(ChannelModel, FadeIsAPureFunctionOfLinkAndInterval) {
+  const phy::ChannelModel ch(fading_params(0.85, 3.0, 250'000), 99);
+  const std::uint64_t key = phy::ChannelModel::pair_key(5, 9);
+
+  // Drive one persistent state through a scrambled interval sequence —
+  // forward jumps, rewinds, block crossings, repeats. Every value must
+  // bit-equal the from-scratch evaluation: the state is only a cache.
+  phy::ChannelModel::FadingState st;
+  for (const std::uint64_t n : {700ull, 3ull, 255ull, 256ull, 257ull, 0ull,
+                                511ull, 512ull, 10ull, 10ull, 1023ull,
+                                64ull}) {
+    EXPECT_EQ(ch.advance(st, key, n), ch.fading_db(key, n))
+        << "interval " << n;
+  }
+
+  // A different link never aliases this stream.
+  const std::uint64_t other = phy::ChannelModel::pair_key(5, 10);
+  EXPECT_NE(ch.fading_db(key, 17), ch.fading_db(other, 17));
+}
+
+TEST(ChannelModel, IncrementalAdvanceReplaysTheColdChain) {
+  const phy::ChannelModel ch(fading_params(0.9, 2.0), 4);
+  const std::uint64_t key = phy::ChannelModel::pair_key(1, 2);
+  phy::ChannelModel::FadingState st;
+  // 600 sequential intervals cross two stationary-restart boundaries
+  // (256, 512); each advance draws exactly one sample, and re-asking
+  // for the same interval is a zero-draw cache hit.
+  for (std::uint64_t n = 0; n < 600; ++n) {
+    std::uint64_t steps = 0;
+    const double inc = ch.advance(st, key, n, &steps);
+    EXPECT_EQ(steps, 1u) << "interval " << n;
+    EXPECT_EQ(inc, ch.fading_db(key, n)) << "interval " << n;
+    steps = 0;
+    EXPECT_EQ(ch.advance(st, key, n, &steps), inc);
+    EXPECT_EQ(steps, 0u) << "interval " << n;
+  }
+}
+
+TEST(ChannelModel, ReciprocalLinksShareOneFade) {
+  const phy::ChannelModel ch(fading_params(0.7, 2.5), 11);
+  EXPECT_EQ(phy::ChannelModel::pair_key(3, 8),
+            phy::ChannelModel::pair_key(8, 3));
+  EXPECT_EQ(ch.fading_db(phy::ChannelModel::pair_key(3, 8), 5),
+            ch.fading_db(phy::ChannelModel::pair_key(8, 3), 5));
+}
+
+TEST(ChannelModel, DistinctSeedsDecorrelateTheStreams) {
+  const phy::ChannelModel a(fading_params(0.8, 2.0), 1);
+  const phy::ChannelModel b(fading_params(0.8, 2.0), 2);
+  const std::uint64_t key = phy::ChannelModel::pair_key(4, 6);
+  EXPECT_NE(a.fading_db(key, 9), b.fading_db(key, 9));
+}
+
+TEST(ChannelModel, IntervalAtQuantisesSimTimeByCoherence) {
+  const phy::ChannelModel ch(fading_params(0.8, 2.0, 1'000'000), 3);
+  EXPECT_EQ(ch.interval_at(0), 0u);
+  EXPECT_EQ(ch.interval_at(999'999), 0u);
+  EXPECT_EQ(ch.interval_at(1'000'000), 1u);
+  EXPECT_EQ(ch.interval_at(5'500'000), 5u);
+}
+
+// Ensemble moments across independent links: the stationary variance is
+// sigma^2 and the lag-k autocorrelation is rho^k (exactly, within a
+// restart block — the block-boundary bias is ~lag/kBlockIntervals and
+// the sampled intervals below never straddle one).
+TEST(ChannelModel, AR1MomentsMatchTheory) {
+  const double rho = 0.8;
+  const double sigma = 3.0;
+  const phy::ChannelModel ch(fading_params(rho, sigma), 2024);
+  constexpr int kLinks = 4000;
+  constexpr std::uint64_t kBase = 40;  // mid-block; max lag 8 stays inside
+
+  std::vector<std::uint64_t> keys(kLinks);
+  std::vector<double> base(kLinks);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kLinks; ++i) {
+    keys[i] = phy::ChannelModel::pair_key(2 * i + 1, 2 * i + 2);
+    base[i] = ch.fading_db(keys[i], kBase);
+    sum += base[i];
+    sumsq += base[i] * base[i];
+  }
+  const double mean = sum / kLinks;
+  const double var = sumsq / kLinks - mean * mean;
+  // Standard errors: sigma/sqrt(N) ~= 0.047 for the mean,
+  // sigma^2 sqrt(2/N) ~= 0.20 for the variance. Bounds are ~4 sigma.
+  EXPECT_NEAR(mean, 0.0, 0.2);
+  EXPECT_NEAR(var, sigma * sigma, 0.9);
+
+  for (const std::uint64_t lag : {1u, 2u, 4u, 8u}) {
+    double mean_l = 0.0;
+    std::vector<double> lagged(kLinks);
+    for (int i = 0; i < kLinks; ++i) {
+      lagged[i] = ch.fading_db(keys[i], kBase + lag);
+      mean_l += lagged[i];
+    }
+    mean_l /= kLinks;
+    double cov = 0.0;
+    double var_l = 0.0;
+    for (int i = 0; i < kLinks; ++i) {
+      cov += (base[i] - mean) * (lagged[i] - mean_l);
+      var_l += (lagged[i] - mean_l) * (lagged[i] - mean_l);
+    }
+    const double corr = cov / std::sqrt((var * kLinks) * var_l);
+    EXPECT_NEAR(corr, std::pow(rho, double(lag)), 0.06) << "lag " << lag;
+  }
+}
+
+// --- The static term: bit-compatibility with the legacy path -----------------
+
+TEST(ChannelModel, StaticGainIsLogDistancePlusShadowing) {
+  phy::ChannelParams cp;
+  cp.path_loss_exponent = 3.2;
+  cp.shadowing_sigma_db = 4.0;
+  const phy::ChannelModel ch(cp, 77);
+
+  const double freq = 2.437e9;
+  const phy::LogDistancePathLoss reference(
+      {.exponent = 3.2, .reference_m = 1.0, .shadowing_sigma_db = 0.0}, freq);
+  EXPECT_EQ(ch.reference_loss_db(freq), reference.reference_loss_db());
+  // Memoized second ask is the identical double.
+  EXPECT_EQ(ch.reference_loss_db(freq), ch.reference_loss_db(freq));
+
+  for (const double d : {0.05, 1.0, 7.3, 120.0}) {
+    const double expected =
+        -reference.loss_db(d) + ch.shadowing_db(21, 34);
+    EXPECT_EQ(ch.static_gain_db(freq, d, 21, 34), expected) << "d=" << d;
+    // Reciprocity: the shadowing draw is order-independent.
+    EXPECT_EQ(ch.static_gain_db(freq, d, 34, 21),
+              ch.static_gain_db(freq, d, 21, 34));
+  }
+}
+
+// --- ChannelEquivalence: the rho = 0 off-switch ------------------------------
+
+struct EngineFingerprint {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                         std::uint64_t, std::uint64_t, std::uint64_t>>
+      station;
+  std::vector<double> energy_mj;
+  std::uint64_t receptions = 0;
+  std::uint64_t delivery_events = 0;
+  std::vector<std::tuple<TimePoint, std::string, Bytes>> trace;
+
+  bool operator==(const EngineFingerprint&) const = default;
+};
+
+/// A compact mixed scenario with marginal links: static population
+/// spread across several 150 m super-cells plus a walking injector, with
+/// shadowing and frame errors ON, so an up- or down-fade that leaked
+/// through a supposedly dormant fading term would flip FER draws,
+/// detection edges, energies and trace bytes.
+EngineFingerprint run_channel_scenario(sim::MediumConfig mc) {
+  mc.shard_cell_m = 150.0;
+  sim::Simulation sim({.medium = mc, .seed = 314});
+  sim::TraceRecorder& recorder = sim.trace();
+
+  Rng layout(271);
+  std::vector<sim::Device*> targets;
+  for (int i = 0; i < 8; ++i) {
+    sim::RadioConfig rc;
+    rc.position = {layout.uniform(-200.0, 200.0),
+                   layout.uniform(-200.0, 200.0)};
+    auto& dev = sim.add_device(
+        {.name = "node" + std::to_string(i)},
+        {0x5e, 0x44, 0x33, 0x22, 0x11, std::uint8_t(i)}, rc);
+    targets.push_back(&dev);
+  }
+
+  sim::RadioConfig rig;
+  rig.position = {-200.0, -200.0};
+  sim::Device& attacker = sim.add_device(
+      {.name = "walker", .kind = sim::DeviceKind::kAttacker},
+      {0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0xee}, rig);
+  core::FakeFrameInjector injector(attacker);
+  sim::WaypointMover mover(attacker.radio(), sim.scheduler(),
+                           {{-200.0, -200.0}, {200.0, 200.0}}, 40.0,
+                           milliseconds(50));
+  mover.start();
+
+  for (int step = 0; step < 60; ++step) {
+    injector.inject_one(targets[layout.uniform_int(0, 7)]->address());
+    sim.run_for(milliseconds(25));
+  }
+  sim.run_for(milliseconds(200));
+  sim.medium().audit_coherence();
+
+  EngineFingerprint fp;
+  for (const auto& dev : sim.devices()) {
+    const auto& s = dev->station().stats();
+    fp.station.emplace_back(s.frames_received, s.frames_for_us, s.acks_sent,
+                            s.fcs_failures, s.duplicates_dropped,
+                            s.frames_transmitted);
+    fp.energy_mj.push_back(dev->radio().energy().consumed_mj(sim.now()));
+  }
+  fp.receptions = sim.medium().stats().receptions;
+  fp.delivery_events = sim.medium().stats().delivery_events;
+  for (const auto& e : recorder.entries()) {
+    fp.trace.emplace_back(e.time, e.sender_name, e.raw);
+  }
+  return fp;
+}
+
+TEST(ChannelEquivalence, RhoZeroIsByteIdenticalToTheMemorylessChannel) {
+  // The reference: an untouched MediumConfig — the engine exactly as it
+  // ran before the channel refactor.
+  const EngineFingerprint baseline = run_channel_scenario({});
+  ASSERT_FALSE(baseline.trace.empty());
+
+  for (const int shards : {1, 4}) {
+    for (const bool soa : {true, false}) {
+      sim::MediumConfig mc;
+      mc.shards = shards;
+      mc.soa_fanout = soa;
+      mc.fading_rho = 0.0;  // the off-switch under test
+      // Deliberately loud dormant knobs: with rho = 0 they must be
+      // completely inert, not merely small.
+      mc.fading_sigma_db = 9.0;
+      mc.fading_coherence_us = 50.0;
+      EXPECT_EQ(run_channel_scenario(mc), baseline)
+          << "shards=" << shards << " soa_fanout=" << soa;
+    }
+  }
+}
+
+// Sanity for the property above: with rho > 0 the very same scenario
+// must NOT reproduce the memoryless bytes — otherwise the off-switch
+// test is vacuous.
+TEST(ChannelEquivalence, CorrelatedFadingActuallyChangesTheBytes) {
+  const EngineFingerprint baseline = run_channel_scenario({});
+  sim::MediumConfig mc;
+  mc.fading_rho = 0.9;
+  mc.fading_sigma_db = 6.0;
+  mc.fading_coherence_us = 500.0;
+  EXPECT_NE(run_channel_scenario(mc), baseline);
+}
+
+// The same off-switch at the top of the stack: the §3 survey document
+// (params echo aside) must ignore arbitrarily loud dormant fading knobs.
+TEST(ChannelEquivalence, SurveyDocumentIgnoresDormantFadingKnobs) {
+  runtime::register_builtin_experiments();
+  const auto base = runtime::run_experiment("wardriving", {}, /*smoke=*/true);
+  ASSERT_EQ(base.exit_code, 0);
+  const auto tweaked = runtime::run_experiment(
+      "wardriving",
+      {{"fading_sigma_db", "7.5"}, {"fading_coherence_us", "50"}},
+      /*smoke=*/true);
+  ASSERT_EQ(tweaked.exit_code, 0);
+
+  const auto results_block = [](const std::string& doc) {
+    const auto at = doc.find("\"results\"");
+    EXPECT_NE(at, std::string::npos);
+    return doc.substr(at);
+  };
+  EXPECT_EQ(results_block(base.json), results_block(tweaked.json));
+  EXPECT_NE(base.json, tweaked.json);  // the params echo does differ
+}
+
+}  // namespace
