@@ -71,9 +71,20 @@ const std::string& Json::as_string() const {
   return string_;
 }
 
+const std::map<std::string, Json>& Json::as_object() const {
+  PW_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
 std::string Json::dump() const {
   std::string out;
   dump_to(&out, 0);
+  return out;
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(&out);
   return out;
 }
 
@@ -170,6 +181,40 @@ void Json::dump_to(std::string* out, int depth) const {
         *out += "\n";
       }
       *out += pad + "}";
+      break;
+    }
+  }
+}
+
+void Json::dump_compact_to(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kString:
+      // Scalar formatting is shared with the indented writer.
+      dump_to(out, 0);
+      break;
+    case Kind::kArray: {
+      *out += "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ",";
+        array_[i].dump_compact_to(out);
+      }
+      *out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      *out += "{";
+      std::size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        if (i++ > 0) *out += ",";
+        append_escaped(out, key);
+        *out += ":";
+        value.dump_compact_to(out);
+      }
+      *out += "}";
       break;
     }
   }

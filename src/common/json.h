@@ -82,12 +82,24 @@ class Json {
   double as_double() const;  // accepts kInt too
   const std::string& as_string() const;
 
+  /// Key-sorted entries of an object (checked: must be an object). The
+  /// campaign manifest parser walks this to reject unknown keys instead
+  /// of silently ignoring author typos.
+  const std::map<std::string, Json>& as_object() const;
+
   /// Canonical text: 2-space indentation, keys sorted, '\n'-separated.
   /// Appending a final newline is the writer's job (write_file does).
   std::string dump() const;
 
+  /// Canonical single-line text: same sorted keys and scalar formatting
+  /// as dump(), zero whitespace — the JSONL record form (jsonl.h), where
+  /// one record must be one line. parse_json accepts both forms and
+  /// equal trees produce equal bytes under either.
+  std::string dump_compact() const;
+
  private:
   void dump_to(std::string* out, int depth) const;
+  void dump_compact_to(std::string* out) const;
   static void append_escaped(std::string* out, const std::string& s);
   static void append_double(std::string* out, double v);
 

@@ -105,7 +105,14 @@ namespace politewifi::obs {
   X(kRuntimeSubseedsDerived, "runtime.subseeds_derived", "seeds",             \
     "sub-seeds derived from the run seed (labels + sweep indices)")           \
   X(kRuntimeSimsBuilt, "runtime.sims_built", "simulations",                   \
-    "Simulations constructed through RunContext::make_sim")
+    "Simulations constructed through RunContext::make_sim")                   \
+  X(kCampaignJobsCompleted, "runtime.campaign.jobs_completed", "jobs",        \
+    "campaign jobs whose document was journaled to results.jsonl")            \
+  X(kCampaignJobsRetried, "runtime.campaign.jobs_retried", "attempts",        \
+    "campaign job attempts re-dispatched after a crash, timeout or "          \
+    "missing document")                                                       \
+  X(kCampaignJobsQuarantined, "runtime.campaign.jobs_quarantined", "jobs",    \
+    "campaign jobs quarantined after exhausting the retry budget")
 
 // Gauges merge by max, so they record deterministic high-water marks.
 #define PW_OBS_GAUGE_LIST(X)                                                  \
@@ -121,7 +128,9 @@ namespace politewifi::obs {
   X(kMediumFadingLinksPeak, "sim.medium.fading_links_peak", "links",          \
     "peak links holding live AR(1) fading state across all shards")           \
   X(kShardSkewNs, "sim.shard.skew_ns", "ns",                                  \
-    "peak spread between shard head-event times at an executor switch")
+    "peak spread between shard head-event times at an executor switch")       \
+  X(kCampaignQueueDepthPeak, "runtime.campaign.queue_depth_peak", "jobs",     \
+    "peak queued-but-undispatched jobs in one campaign invocation")
 
 enum class Counter : std::uint16_t {
 #define PW_OBS_X(sym, name, unit, desc) sym,

@@ -1,0 +1,510 @@
+#include "runtime/campaign/driver.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/json_parse.h"
+#include "obs/metrics.h"
+#include "runtime/campaign/journal.h"
+#include "runtime/campaign/manifest.h"
+#include "runtime/city_reduce.h"
+#include "runtime/experiments/all.h"
+#include "runtime/registry.h"
+#include "runtime/run_context.h"
+#include "runtime/runner.h"
+
+namespace politewifi::runtime::campaign {
+
+namespace {
+
+namespace fs = std::filesystem;
+using common::Json;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  return std::fclose(f) == 0 && ok;
+}
+
+/// How one child attempt ended.
+enum class AttemptOutcome {
+  kDocument,   // exited 0/1 and left a parseable document
+  kCrashed,    // signaled, spawn failure, or abnormal exit
+  kTimeout,    // exceeded policy.timeout_ms and was SIGKILLed
+  kNoDocument  // exited but the document is missing or unparseable
+};
+
+const char* outcome_name(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kDocument: return "document";
+    case AttemptOutcome::kCrashed: return "crashed";
+    case AttemptOutcome::kTimeout: return "timeout";
+    case AttemptOutcome::kNoDocument: return "no document";
+  }
+  return "?";
+}
+
+/// Spawns one attempt: fork, redirect stdout+stderr into `log_path`,
+/// exec `argv`. Fault injection happens between fork and exec with
+/// async-signal-safe calls only. Returns the outcome; fills `status`
+/// with the raw wait status for diagnostics.
+AttemptOutcome spawn_attempt(const std::vector<std::string>& argv,
+                             const std::string& log_path, bool fault_kill,
+                             bool fault_hang, std::int64_t timeout_ms,
+                             int* status) {
+  const int log_fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    *status = -1;
+    return AttemptOutcome::kCrashed;
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe territory until exec.
+    if (fault_kill) ::raise(SIGKILL);
+    if (fault_hang) {
+      for (;;) ::pause();
+    }
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  if (log_fd >= 0) ::close(log_fd);
+
+  // Timeout by counted polls: src/runtime is wall-clock-free by lint,
+  // and a 10 ms granularity is ample for a whole-process budget.
+  const std::int64_t max_polls =
+      timeout_ms > 0 ? (timeout_ms + 9) / 10 : 0;
+  std::int64_t polls = 0;
+  for (;;) {
+    const pid_t done = ::waitpid(pid, status, timeout_ms > 0 ? WNOHANG : 0);
+    if (done == pid) break;
+    if (done < 0) {
+      *status = -1;
+      return AttemptOutcome::kCrashed;
+    }
+    if (++polls > max_polls) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, status, 0);
+      return AttemptOutcome::kTimeout;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!WIFEXITED(*status)) return AttemptOutcome::kCrashed;
+  const int code = WEXITSTATUS(*status);
+  // Exit 1 still writes a document (the experiment ran and reported
+  // failure, which the reduce ORs into `failed`); anything else never
+  // produced one.
+  if (code != 0 && code != 1) return AttemptOutcome::kNoDocument;
+  return AttemptOutcome::kDocument;
+}
+
+/// Shared driver state, all mutated under one mutex: the queue, the
+/// per-job progress snapshot, the journaled records and the dispatch
+/// budget. Journal appends and state rewrites happen under the lock so
+/// "append record, then snapshot state" stays atomic on disk.
+struct DriverState {
+  std::mutex mu;
+  std::deque<std::size_t> queue;  // indices into manifest.jobs
+  int inflight = 0;
+  int budget = 0;  // remaining dispatches; <0 = unlimited
+  bool stopped = false;           // budget ran out with work remaining
+  bool io_failed = false;
+  std::map<std::string, JobProgress> progress;
+  std::map<std::string, JobRecord> records;
+  std::vector<std::string> quarantine_log;  // narration lines
+};
+
+}  // namespace
+
+int run_campaign_driver(const CampaignDriverOptions& options) {
+  register_builtin_experiments();
+
+  std::string manifest_text;
+  if (!read_file(options.manifest_path, &manifest_text)) {
+    std::fprintf(stderr, "pw_run: cannot read manifest %s\n",
+                 options.manifest_path.c_str());
+    return 2;
+  }
+  std::string error;
+  auto parsed = parse_campaign_manifest_text(manifest_text, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "pw_run: %s\n", error.c_str());
+    return 2;
+  }
+  const CampaignManifest manifest = std::move(*parsed);
+  // The digest is over the canonical form, so an author's formatting
+  // (or omitted derivable seeds) never splits a campaign identity.
+  const std::string canonical_text = manifest.to_json().dump() + "\n";
+  const std::string manifest_digest = campaign_digest(canonical_text);
+
+  // Fail fast: every job must resolve against its experiment spec
+  // before anything spawns, not D attempts deep into the queue.
+  for (const CampaignJob& job : manifest.jobs) {
+    const auto experiment = ExperimentRegistry::instance().create(
+        job.experiment);
+    if (experiment == nullptr) {
+      std::fprintf(stderr, "pw_run: job \"%s\": unknown experiment '%s'\n",
+                   job.id.c_str(), job.experiment.c_str());
+      return 2;
+    }
+    std::vector<common::Flag> flags;
+    flags.push_back({"seed", std::to_string(job.seed)});
+    for (const auto& [key, value] : job.params) {
+      flags.push_back({key, value});
+    }
+    ResolvedRun resolved;
+    if (!resolve_run(experiment->spec(), flags, job.smoke, &resolved,
+                     &error)) {
+      std::fprintf(stderr, "pw_run: job \"%s\": %s\n", job.id.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  fs::create_directories(options.dir + "/logs", ec);
+  fs::create_directories(options.dir + "/scratch", ec);
+  if (ec) {
+    std::fprintf(stderr, "pw_run: cannot create campaign directory %s\n",
+                 options.dir.c_str());
+    return 1;
+  }
+  // Keep a canonical manifest copy next to the journal it explains.
+  const std::string copy_path = options.dir + "/manifest.json";
+  if (!fs::exists(copy_path) && !write_file(copy_path, canonical_text)) {
+    std::fprintf(stderr, "pw_run: cannot write %s\n", copy_path.c_str());
+    return 1;
+  }
+
+  DriverState state;
+  {
+    CampaignJournal journal;
+    if (!load_campaign_journal(options.dir, manifest, manifest_digest,
+                               &journal, &error)) {
+      std::fprintf(stderr, "pw_run: %s\n", error.c_str());
+      return 1;
+    }
+    state.records = std::move(journal.completed);
+    state.progress = std::move(journal.progress);
+  }
+
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    const CampaignJob& job = manifest.jobs[i];
+    if (state.records.count(job.id) != 0) continue;
+    JobProgress& progress = state.progress[job.id];
+    if (progress.status.has_value() && *progress.status == "quarantined") {
+      // A resume is an operator decision to try again: quarantined jobs
+      // re-enter the queue with a fresh attempt budget.
+      progress = JobProgress{};
+    }
+    state.queue.push_back(i);
+  }
+  state.budget = options.faults.stop_after > 0 ? options.faults.stop_after
+                                               : -1;
+  PW_GAUGE_MAX(kCampaignQueueDepthPeak,
+               static_cast<std::int64_t>(state.queue.size()));
+
+  const std::size_t total = manifest.jobs.size();
+  const std::size_t already = state.records.size();
+  std::printf("Campaign '%s' (suite %s): %zu jobs, %zu already journaled, "
+              "%zu queued across %d processes\n",
+              manifest.campaign.c_str(), manifest.suite_version.c_str(),
+              total, already, state.queue.size(),
+              std::max(1, options.processes));
+
+  const auto worker = [&] {
+    for (;;) {
+      std::size_t index = 0;
+      int attempt = 0;
+      {
+        std::unique_lock<std::mutex> lock(state.mu);
+        if (state.queue.empty()) {
+          if (state.inflight == 0) return;
+          lock.unlock();
+          // A retrying peer may re-enqueue; check back shortly.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        if (state.budget == 0) {
+          state.stopped = true;
+          return;
+        }
+        if (state.budget > 0) --state.budget;
+        index = state.queue.front();
+        state.queue.pop_front();
+        ++state.inflight;
+        const CampaignJob& job = manifest.jobs[index];
+        JobProgress& progress = state.progress[job.id];
+        attempt = static_cast<int>(++progress.attempts);
+        progress.log = "logs/" + job.id + ".attempt" +
+                       std::to_string(attempt) + ".log";
+        if (!write_campaign_state(options.dir, manifest, manifest_digest,
+                                  state.progress, &error)) {
+          state.io_failed = true;
+        }
+      }
+      const CampaignJob& job = manifest.jobs[index];
+      const std::string doc_path =
+          options.dir + "/scratch/" + job.id + ".json";
+      const std::string log_path = options.dir + "/logs/" + job.id +
+                                   ".attempt" + std::to_string(attempt) +
+                                   ".log";
+      std::vector<std::string> argv;
+      argv.push_back(options.argv0);
+      argv.push_back(job.experiment);
+      argv.push_back("--seed=" + std::to_string(job.seed));
+      if (job.smoke) argv.push_back("--smoke");
+      for (const auto& [key, value] : job.params) {
+        argv.push_back("--" + key + "=" + value);
+      }
+      argv.push_back("--json=" + doc_path);
+      if (options.metrics_arg.has_value()) {
+        // Child obs artifacts stay in scratch/ (removed on completion);
+        // the child document's embedded metrics block is what reduces.
+        argv.push_back("--metrics=" + doc_path + ".metrics.json");
+        argv.push_back("--timeline=" + doc_path + ".trace.json");
+      }
+
+      int wait_status = 0;
+      AttemptOutcome outcome = spawn_attempt(
+          argv, log_path,
+          options.faults.kill.count({job.id, attempt}) != 0,
+          options.faults.hang.count({job.id, attempt}) != 0,
+          manifest.policy.timeout_ms, &wait_status);
+
+      std::string doc_text;
+      std::optional<Json> document;
+      if (outcome == AttemptOutcome::kDocument) {
+        std::string parse_error;
+        if (read_file(doc_path, &doc_text)) {
+          document = common::parse_json(doc_text, &parse_error);
+        }
+        if (!document.has_value()) outcome = AttemptOutcome::kNoDocument;
+      }
+
+      std::unique_lock<std::mutex> lock(state.mu);
+      JobProgress& progress = state.progress[job.id];
+      if (document.has_value()) {
+        JobRecord record;
+        record.id = job.id;
+        record.experiment = job.experiment;
+        record.seed = job.seed;
+        record.document = std::move(*document);
+        record.digest = campaign_digest(document_text(record.document));
+        if (job.expect_digest.has_value() &&
+            *job.expect_digest != record.digest) {
+          // Deterministic contradiction: retrying reproduces the same
+          // bytes, so this quarantines on the spot.
+          PW_COUNT(kCampaignJobsQuarantined);
+          progress.status = "quarantined";
+          state.quarantine_log.push_back(
+              job.id + ": digest " + record.digest +
+              " contradicts pinned expect_digest " + *job.expect_digest);
+        } else {
+          if (!append_job_record(options.dir, record, &error)) {
+            std::fprintf(stderr, "pw_run: %s\n", error.c_str());
+            state.io_failed = true;
+          } else {
+            PW_COUNT(kCampaignJobsCompleted);
+            progress.status = "completed";
+            progress.digest = record.digest;
+            state.records[job.id] = std::move(record);
+            std::error_code cleanup;
+            fs::remove(doc_path, cleanup);
+            fs::remove(doc_path + ".metrics.json", cleanup);
+            fs::remove(doc_path + ".trace.json", cleanup);
+          }
+        }
+        if (!write_campaign_state(options.dir, manifest, manifest_digest,
+                                  state.progress, &error)) {
+          state.io_failed = true;
+        }
+        --state.inflight;
+        if (state.io_failed) return;
+        continue;
+      }
+
+      // Failed attempt: retry with backoff or quarantine.
+      if (progress.attempts >= manifest.policy.max_attempts) {
+        PW_COUNT(kCampaignJobsQuarantined);
+        progress.status = "quarantined";
+        state.quarantine_log.push_back(
+            job.id + ": " + outcome_name(outcome) + " after " +
+            std::to_string(progress.attempts) + " attempts; last log " +
+            options.dir + "/" + *progress.log);
+        if (!write_campaign_state(options.dir, manifest, manifest_digest,
+                                  state.progress, &error)) {
+          state.io_failed = true;
+        }
+        --state.inflight;
+        continue;
+      }
+      PW_COUNT(kCampaignJobsRetried);
+      // Deterministic exponential backoff: base << (attempt - 1),
+      // shift capped so a deep retry chain cannot overflow.
+      const std::int64_t delay =
+          manifest.policy.backoff_ms
+          << std::min<std::int64_t>(progress.attempts - 1, 10);
+      progress.backoff_ms.push_back(delay);
+      if (!write_campaign_state(options.dir, manifest, manifest_digest,
+                                state.progress, &error)) {
+        state.io_failed = true;
+      }
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      lock.lock();
+      state.queue.push_back(index);
+      --state.inflight;
+    }
+  };
+
+  const int pool = std::clamp<int>(options.processes, 1,
+                                   static_cast<int>(total));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  if (state.io_failed) {
+    std::fprintf(stderr, "pw_run: campaign aborted on journal I/O failure\n");
+    return 1;
+  }
+  for (const std::string& line : state.quarantine_log) {
+    std::fprintf(stderr, "pw_run: quarantined %s\n", line.c_str());
+  }
+  const std::size_t completed = state.records.size();
+  std::size_t quarantined = 0;
+  for (const auto& [id, progress] : state.progress) {
+    quarantined += progress.status.has_value() &&
+                   *progress.status == "quarantined";
+  }
+  if (state.stopped && completed + quarantined < total) {
+    std::printf("Campaign '%s': checkpoint after %zu/%zu jobs; resume "
+                "with the same command\n",
+                manifest.campaign.c_str(), completed, total);
+    return 3;
+  }
+  if (quarantined > 0) {
+    std::printf("Campaign '%s': %zu/%zu jobs completed, %zu quarantined "
+                "(see logs/); no campaign document produced\n",
+                manifest.campaign.c_str(), completed, total, quarantined);
+    return 1;
+  }
+
+  // Final reduce: one campaign document over the journaled records.
+  Json doc = Json::object();
+  doc["base_seed"] = manifest.base_seed;
+  doc["campaign"] = manifest.campaign;
+  doc["manifest_digest"] = manifest_digest;
+  doc["suite_version"] = manifest.suite_version;
+  bool failed = false;
+  std::int64_t failed_jobs = 0;
+  Json jobs_doc = Json::array();
+  std::vector<const Json*> metrics_blocks;
+  std::size_t documents_with_metrics = 0;
+  for (const auto& [id, record] : state.records) {  // map order = id order
+    const Json* job_failed = record.document.find("failed");
+    if (job_failed != nullptr && job_failed->as_bool()) {
+      failed = true;
+      ++failed_jobs;
+    }
+    if (const Json* block = record.document.find("metrics")) {
+      metrics_blocks.push_back(block);
+      ++documents_with_metrics;
+    }
+    jobs_doc.push_back(record.to_json());
+  }
+  doc["failed"] = failed;
+  doc["jobs"] = std::move(jobs_doc);
+  Json summary = Json::object();
+  summary["failed_jobs"] = failed_jobs;
+  summary["jobs"] = static_cast<std::int64_t>(total);
+  doc["summary"] = std::move(summary);
+
+  int exit_code = failed ? 1 : 0;
+  if (documents_with_metrics != 0 && documents_with_metrics != total) {
+    // A metrics run resumed without --metrics (or vice versa): the
+    // merged block would silently undercount, so refuse instead.
+    std::fprintf(stderr,
+                 "pw_run: %zu of %zu job documents carry a metrics block; "
+                 "resume with the same --metrics setting the campaign "
+                 "started with\n",
+                 documents_with_metrics, total);
+    return 1;
+  }
+  if (documents_with_metrics == total && total > 0) {
+    std::string merge_error;
+    auto merged = merge_metrics_blocks(metrics_blocks, &merge_error);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "pw_run: campaign metrics merge failed: %s\n",
+                   merge_error.c_str());
+      return 1;
+    }
+    if (options.metrics_arg.has_value() &&
+        !write_output("metrics", "campaign.metrics.json",
+                      merged->dump() + "\n", *options.metrics_arg,
+                      /*force_dir=*/false)) {
+      exit_code = 1;
+    }
+    doc["metrics"] = std::move(*merged);
+  } else if (options.metrics_arg.has_value()) {
+    std::fprintf(stderr,
+                 "pw_run: --metrics asked but the job documents carry no "
+                 "metrics block (campaign was journaled without "
+                 "--metrics)\n");
+    exit_code = 1;
+  }
+
+  std::printf("Campaign '%s': %zu/%zu jobs completed (%lld reported "
+              "failure)\n",
+              manifest.campaign.c_str(), completed, total,
+              static_cast<long long>(failed_jobs));
+  if (options.json_arg.has_value() &&
+      !write_output("json", "campaign.json", doc.dump() + "\n",
+                    *options.json_arg, /*force_dir=*/false)) {
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace politewifi::runtime::campaign

@@ -1,0 +1,68 @@
+// Campaign driver: streams a manifest's job queue through a pool of
+// child `pw_run` processes with checkpoint/resume and fault handling.
+//
+// Execution discipline (CAMPAIGNS.md is the authoritative contract):
+//
+//   * Jobs already journaled in results.jsonl are skipped on entry;
+//     their digests were cross-checked by the journal loader, so a
+//     resumed campaign finishes with byte-identical job records to one
+//     that never stopped.
+//   * Every attempt runs in a fork/exec child whose stdout+stderr land
+//     in logs/<id>.attempt<k>.log. A child that crashes, exceeds the
+//     per-attempt timeout (SIGKILLed), exits nonzero without a
+//     document, or writes an unparseable document is re-dispatched
+//     after a deterministic exponential backoff — base policy.backoff_ms
+//     doubled per further attempt, schedule recorded in state.json —
+//     until policy.max_attempts is exhausted, which quarantines the job
+//     (campaign continues; exit code reports the quarantine).
+//   * A document that contradicts a pinned expect_digest quarantines
+//     immediately: determinism failures do not resolve by retrying.
+//   * Timeouts are measured by counted 10 ms waitpid polls, never by
+//     clock reads (src/runtime is wall-clock-free by lint).
+//
+// Fault injection (CampaignFaults) exists for tests and the CI smoke:
+// a (id, attempt) in `kill` makes that child SIGKILL itself before
+// exec; `hang` makes it sleep forever (exercising the timeout path);
+// `stop_after` bounds how many dispatches this invocation may start,
+// making "interrupt at a deterministic checkpoint" a first-class,
+// schedule-independent operation (exit code 3 = stopped with work
+// remaining, resume to continue).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace politewifi::runtime::campaign {
+
+struct CampaignFaults {
+  /// (job id, attempt number) pairs whose child SIGKILLs itself pre-exec.
+  std::set<std::pair<std::string, int>> kill;
+  /// (job id, attempt number) pairs whose child hangs until the timeout.
+  std::set<std::pair<std::string, int>> hang;
+  /// Maximum dispatches this invocation may start (0 = unlimited). The
+  /// deterministic interrupt point for checkpoint/resume tests.
+  int stop_after = 0;
+};
+
+struct CampaignDriverOptions {
+  std::string argv0;          // the pw_run binary children re-exec
+  std::string manifest_path;  // manifest to load
+  std::string dir;            // campaign directory (journal, logs, scratch)
+  int processes = 4;          // worker pool width
+  /// --json forwarded: where the final reduced campaign document goes.
+  std::optional<std::string> json_arg;
+  /// --metrics forwarded: children run --metrics and the merged block is
+  /// written here (and embedded in the final document).
+  std::optional<std::string> metrics_arg;
+  CampaignFaults faults;
+};
+
+/// Runs (or resumes) the campaign. Exit codes: 0 all jobs completed and
+/// reduced; 1 quarantined jobs or an I/O / validation failure; 2 usage
+/// (bad manifest); 3 interrupted at the stop_after checkpoint with work
+/// remaining.
+int run_campaign_driver(const CampaignDriverOptions& options);
+
+}  // namespace politewifi::runtime::campaign

@@ -1,0 +1,319 @@
+#include "runtime/campaign/journal.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/json_parse.h"
+#include "common/jsonl.h"
+
+namespace politewifi::runtime::campaign {
+
+namespace {
+
+using common::Json;
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+bool read_whole_file(const std::string& path, std::string* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return set_error(error, "cannot open " + path);
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return set_error(error, "read error on " + path);
+  return true;
+}
+
+/// Parses one results.jsonl record and cross-checks it against its
+/// manifest job. Strictness mirrors the manifest parser: these files
+/// are machine-written, so any surprise is corruption or drift.
+bool parse_record(const Json& doc, const CampaignManifest& manifest,
+                  JobRecord* out, std::string* error) {
+  if (!doc.is_object()) {
+    return set_error(error, "results.jsonl: record is not an object");
+  }
+  for (const char* key : {"digest", "document", "experiment", "id", "seed"}) {
+    if (doc.find(key) == nullptr) {
+      return set_error(error, std::string("results.jsonl: record missing "
+                                          "\"") + key + "\"");
+    }
+  }
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (key != "digest" && key != "document" && key != "experiment" &&
+        key != "id" && key != "seed") {
+      return set_error(error, "results.jsonl: record carries unknown key \"" +
+                                  key + "\"");
+    }
+  }
+  out->id = doc.find("id")->as_string();
+  out->experiment = doc.find("experiment")->as_string();
+  out->seed = doc.find("seed")->as_int();
+  out->digest = doc.find("digest")->as_string();
+  out->document = *doc.find("document");
+
+  const CampaignJob* job = nullptr;
+  for (const CampaignJob& candidate : manifest.jobs) {
+    if (candidate.id == out->id) {
+      job = &candidate;
+      break;
+    }
+  }
+  if (job == nullptr) {
+    return set_error(error, "results.jsonl: record for \"" + out->id +
+                                "\" which is not a job of this manifest");
+  }
+  if (job->experiment != out->experiment || job->seed != out->seed) {
+    return set_error(error, "results.jsonl: record for \"" + out->id +
+                                "\" disagrees with the manifest (experiment "
+                                "or seed drift; was the manifest edited "
+                                "mid-campaign?)");
+  }
+  const std::string recomputed = campaign_digest(document_text(out->document));
+  if (recomputed != out->digest) {
+    return set_error(error, "results.jsonl: record for \"" + out->id +
+                                "\" fails its own digest (" + recomputed +
+                                " != " + out->digest + "): corrupt journal");
+  }
+  if (job->expect_digest.has_value() && *job->expect_digest != out->digest) {
+    return set_error(error, "job \"" + out->id + "\": journaled digest " +
+                                out->digest + " does not match the pinned "
+                                "expect_digest " + *job->expect_digest);
+  }
+  return true;
+}
+
+bool parse_progress_entry(const Json& doc, const std::string& id,
+                          JobProgress* out, std::string* error) {
+  if (!doc.is_object()) {
+    return set_error(error, "state.json: jobs entry \"" + id +
+                                "\" is not an object");
+  }
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "attempts") {
+      out->attempts = value.as_int();
+    } else if (key == "backoff_ms") {
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        out->backoff_ms.push_back(value.at(i).as_int());
+      }
+    } else if (key == "digest") {
+      out->digest = value.as_string();
+    } else if (key == "status") {
+      out->status = value.as_string();
+      if (*out->status != "completed" && *out->status != "quarantined") {
+        return set_error(error, "state.json: job \"" + id +
+                                    "\" has unknown status \"" +
+                                    *out->status + "\"");
+      }
+    } else if (key == "log") {
+      out->log = value.as_string();
+    } else {
+      return set_error(error, "state.json: job \"" + id +
+                                  "\" carries unknown key \"" + key + "\"");
+    }
+  }
+  return true;
+}
+
+bool load_state(const std::string& path, const CampaignManifest& manifest,
+                const std::string& manifest_digest, CampaignJournal* out,
+                std::string* error) {
+  std::string text;
+  if (!read_whole_file(path, &text, error)) return false;
+  std::string parse_error;
+  auto doc = common::parse_json(text, &parse_error);
+  if (!doc.has_value() || !doc->is_object()) {
+    return set_error(error, path + ": corrupt state snapshot: " +
+                                (doc.has_value() ? "not an object"
+                                                 : parse_error));
+  }
+  for (const char* key : {"campaign", "jobs", "manifest_digest",
+                          "schema_version", "suite_version"}) {
+    if (doc->find(key) == nullptr) {
+      return set_error(error,
+                       path + ": missing \"" + key + "\": corrupt snapshot");
+    }
+  }
+  if (doc->find("schema_version")->as_int() != 1) {
+    return set_error(error, path + ": unsupported schema_version");
+  }
+  if (doc->find("campaign")->as_string() != manifest.campaign ||
+      doc->find("suite_version")->as_string() != manifest.suite_version) {
+    return set_error(error, path + ": journal belongs to campaign \"" +
+                                doc->find("campaign")->as_string() +
+                                "\" suite \"" +
+                                doc->find("suite_version")->as_string() +
+                                "\", not this manifest");
+  }
+  if (doc->find("manifest_digest")->as_string() != manifest_digest) {
+    return set_error(error, path + ": journal was written by a manifest "
+                                "with digest " +
+                                doc->find("manifest_digest")->as_string() +
+                                ", this one is " + manifest_digest +
+                                ": refusing to mix campaigns");
+  }
+  for (const auto& [id, entry] : doc->find("jobs")->as_object()) {
+    bool known = false;
+    for (const CampaignJob& job : manifest.jobs) known |= job.id == id;
+    if (!known) {
+      return set_error(error, path + ": progress for \"" + id +
+                                  "\" which is not a job of this manifest");
+    }
+    JobProgress progress;
+    if (!parse_progress_entry(entry, id, &progress, error)) return false;
+    out->progress[id] = std::move(progress);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string results_path(const std::string& dir) {
+  return dir + "/results.jsonl";
+}
+
+std::string state_path(const std::string& dir) { return dir + "/state.json"; }
+
+std::string document_text(const common::Json& document) {
+  return document.dump() + "\n";
+}
+
+common::Json JobRecord::to_json() const {
+  Json doc = Json::object();
+  doc["digest"] = digest;
+  doc["document"] = document;
+  doc["experiment"] = experiment;
+  doc["id"] = id;
+  doc["seed"] = seed;
+  return doc;
+}
+
+bool load_campaign_journal(const std::string& dir,
+                           const CampaignManifest& manifest,
+                           const std::string& manifest_digest,
+                           CampaignJournal* out, std::string* error) {
+  out->completed.clear();
+  out->progress.clear();
+
+  const std::string results = results_path(dir);
+  if (file_exists(results)) {
+    common::JsonlReadResult journal;
+    if (!common::read_jsonl_file(results, &journal, error)) return false;
+    if (journal.torn_tail) {
+      return set_error(
+          error, results + ": torn record at byte offset " +
+                     std::to_string(journal.torn_tail_offset) +
+                     " (the writer died mid-append); run `tools/"
+                     "pw_campaign.py repair <dir>` to truncate it, then "
+                     "resume");
+    }
+    for (const Json& doc : journal.records) {
+      JobRecord record;
+      if (!parse_record(doc, manifest, &record, error)) return false;
+      const std::string id = record.id;
+      if (!out->completed.emplace(id, std::move(record)).second) {
+        return set_error(error, results + ": duplicate record for \"" + id +
+                                    "\": corrupt journal (a job must be "
+                                    "journaled exactly once)");
+      }
+    }
+  }
+
+  const std::string state = state_path(dir);
+  if (file_exists(state)) {
+    if (!load_state(state, manifest, manifest_digest, out, error)) {
+      return false;
+    }
+  } else if (!out->completed.empty()) {
+    return set_error(error, state + ": missing but " + results +
+                                " has records; the campaign directory is "
+                                "half-deleted");
+  }
+
+  // Cross-file coherence: a completed record must be visible in the
+  // snapshot with the same digest (state.json is written *after* the
+  // append, so the reverse — snapshot says completed, record missing —
+  // is also corruption).
+  for (const auto& [id, record] : out->completed) {
+    const auto it = out->progress.find(id);
+    if (it == out->progress.end() || !it->second.status.has_value() ||
+        *it->second.status != "completed") {
+      return set_error(error, state + ": \"" + id + "\" is journaled in "
+                                  "results.jsonl but not marked completed");
+    }
+    if (!it->second.digest.has_value() || *it->second.digest != record.digest) {
+      return set_error(error, state + ": digest for \"" + id +
+                                  "\" disagrees with results.jsonl");
+    }
+  }
+  for (const auto& [id, progress] : out->progress) {
+    if (progress.status.has_value() && *progress.status == "completed" &&
+        out->completed.find(id) == out->completed.end()) {
+      return set_error(error, state + ": \"" + id + "\" marked completed "
+                                  "but results.jsonl has no record for it");
+    }
+  }
+  return true;
+}
+
+bool append_job_record(const std::string& dir, const JobRecord& record,
+                       std::string* error) {
+  return common::append_jsonl_record(results_path(dir), record.to_json(),
+                                     error);
+}
+
+bool write_campaign_state(const std::string& dir,
+                          const CampaignManifest& manifest,
+                          const std::string& manifest_digest,
+                          const std::map<std::string, JobProgress>& progress,
+                          std::string* error) {
+  Json doc = Json::object();
+  doc["campaign"] = manifest.campaign;
+  doc["manifest_digest"] = manifest_digest;
+  doc["schema_version"] = static_cast<std::int64_t>(1);
+  doc["suite_version"] = manifest.suite_version;
+  Json jobs = Json::object();
+  for (const auto& [id, entry] : progress) {
+    Json j = Json::object();
+    j["attempts"] = entry.attempts;
+    Json backoff = Json::array();
+    for (const std::int64_t ms : entry.backoff_ms) backoff.push_back(ms);
+    j["backoff_ms"] = std::move(backoff);
+    if (entry.digest.has_value()) j["digest"] = *entry.digest;
+    if (entry.status.has_value()) j["status"] = *entry.status;
+    if (entry.log.has_value()) j["log"] = *entry.log;
+    jobs[id] = std::move(j);
+  }
+  doc["jobs"] = std::move(jobs);
+
+  const std::string path = state_path(dir);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return set_error(error, "cannot open " + tmp);
+  const std::string text = doc.dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    return set_error(error, "short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return set_error(error, "cannot rename " + tmp + " over " + path);
+  }
+  return true;
+}
+
+}  // namespace politewifi::runtime::campaign

@@ -1,0 +1,91 @@
+// Campaign journal: the durable record of progress inside a campaign
+// directory, split across two files with sharply different contracts.
+//
+//   results.jsonl  — append-only, one compact record per completed job,
+//                    flushed before the job counts as done. This file is
+//                    the single source of truth for completion and is
+//                    covered by the determinism contract: an interrupted
+//                    campaign resumed to the end carries byte-identical
+//                    records to one that ran straight through (order
+//                    aside — the reduce sorts by id).
+//   state.json     — a derived snapshot (attempts, backoff schedule,
+//                    quarantine verdicts, log paths) rewritten atomically
+//                    after every journal append. Diagnostics only: it is
+//                    regenerable from results.jsonl plus the logs and is
+//                    explicitly *excluded* from byte-identity guarantees.
+//
+// Loading validates hard: duplicate ids, ids missing from the manifest,
+// seed/experiment drift, digests that do not match the recorded document
+// and manifests that do not match the digest stamped into state.json are
+// all errors with the offending id named. A torn results.jsonl tail
+// (writer died mid-append) refuses resume and points at
+// `tools/pw_campaign.py repair`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "runtime/campaign/manifest.h"
+
+namespace politewifi::runtime::campaign {
+
+/// One completed job as journaled in results.jsonl.
+struct JobRecord {
+  std::string id;
+  std::string experiment;
+  std::int64_t seed = 0;
+  std::string digest;  // campaign_digest over the document text
+  common::Json document;
+
+  common::Json to_json() const;
+};
+
+/// Per-job progress as snapshotted in state.json.
+struct JobProgress {
+  std::int64_t attempts = 0;
+  std::vector<std::int64_t> backoff_ms;    // applied delays, dispatch order
+  std::optional<std::string> digest;       // once completed
+  std::optional<std::string> status;       // "completed" | "quarantined"
+  std::optional<std::string> log;          // dir-relative last-attempt log
+};
+
+/// Everything a resume needs to know about prior invocations.
+struct CampaignJournal {
+  std::map<std::string, JobRecord> completed;   // keyed by job id
+  std::map<std::string, JobProgress> progress;  // state.json snapshot
+};
+
+/// Journal file names inside a campaign directory.
+std::string results_path(const std::string& dir);
+std::string state_path(const std::string& dir);
+
+/// The exact bytes a job document is digested and journaled over: the
+/// canonical dump plus the trailing newline pw_run writes to disk.
+std::string document_text(const common::Json& document);
+
+/// Loads and validates both journal files against the manifest. Missing
+/// files mean a fresh campaign (empty journal, returns true). Any
+/// inconsistency — torn tail, duplicate or unknown ids, seed/experiment/
+/// digest drift, a state.json stamped by a different manifest — is an
+/// error naming the culprit.
+bool load_campaign_journal(const std::string& dir,
+                           const CampaignManifest& manifest,
+                           const std::string& manifest_digest,
+                           CampaignJournal* out, std::string* error);
+
+/// Appends one completed-job record (durable once this returns true).
+bool append_job_record(const std::string& dir, const JobRecord& record,
+                       std::string* error);
+
+/// Atomically rewrites state.json (write to a temp file, rename over).
+bool write_campaign_state(const std::string& dir,
+                          const CampaignManifest& manifest,
+                          const std::string& manifest_digest,
+                          const std::map<std::string, JobProgress>& progress,
+                          std::string* error);
+
+}  // namespace politewifi::runtime::campaign

@@ -1,11 +1,13 @@
 #include "runtime/runner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <optional>
 
 #include "obs/metrics.h"
 #include "obs/timeline.h"
+#include "runtime/campaign/driver.h"
 #include "runtime/city_driver.h"
 #include "runtime/experiments/all.h"
 #include "runtime/registry.h"
@@ -16,8 +18,9 @@ namespace politewifi::runtime {
 namespace {
 
 constexpr const char* kReservedFlags[] = {
-    "list", "names",   "all",      "smoke", "json",
-    "help", "metrics", "timeline", "city",  "city-reduce"};
+    "list",     "names",       "all",          "smoke", "json",
+    "help",     "metrics",     "timeline",     "city",  "city-reduce",
+    "campaign", "campaign-dir", "procs"};
 
 bool is_reserved(const std::string& name) {
   for (const char* reserved : kReservedFlags) {
@@ -41,6 +44,7 @@ void print_pw_run_usage() {
       "pw_run — declarative experiment runner for the Polite WiFi suite\n"
       "\n"
       "usage:\n"
+      "  pw_run --help                this text\n"
       "  pw_run --list                describe every registered experiment\n"
       "  pw_run --names               bare experiment names, one per line\n"
       "  pw_run <experiment> [--seed=N] [--smoke] [--<param>=<value> ...]\n"
@@ -51,6 +55,17 @@ void print_pw_run_usage() {
       "  pw_run --city[=P] [--smoke] [--districts=D] [--<param>=<value> ...]\n"
       "                    [--json[=PATH]] [--metrics[=PATH]]\n"
       "  pw_run --city-reduce=DIR [--json[=PATH]] [--metrics[=PATH]]\n"
+      "  pw_run --campaign=MANIFEST [--campaign-dir=DIR] [--procs=P]\n"
+      "                    [--json[=PATH]] [--metrics[=PATH]]\n"
+      "\n"
+      "--campaign streams the manifest's job queue through a pool of P\n"
+      "child processes (default 4) with checkpoint/resume: completed jobs\n"
+      "are journaled to DIR/results.jsonl (default DIR: the manifest path\n"
+      "with .json replaced by .campaign) and skipped on re-invocation, so\n"
+      "an interrupted campaign resumes to byte-identical results. Crashed\n"
+      "or timed-out jobs retry with recorded exponential backoff until\n"
+      "the manifest's policy quarantines them. See CAMPAIGNS.md and\n"
+      "tools/pw_campaign.py (init/status/resume/repair).\n"
       "\n"
       "--city runs the `city` experiment as one child process per\n"
       "district through a pool of P workers (default 4) and reduces the\n"
@@ -141,6 +156,59 @@ bool write_obs_outputs(const std::string& name,
                        timeline_arg.value_or(""), force_dir);
   }
   return ok;
+}
+
+/// One fault-list env var: "id:attempt[,id:attempt...]".
+bool parse_fault_env_list(const char* env_name,
+                          std::set<std::pair<std::string, int>>* out) {
+  const char* raw = std::getenv(env_name);
+  if (raw == nullptr || *raw == '\0') return true;
+  std::string text(raw);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    const std::size_t colon = item.find(':');
+    std::int64_t attempt = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !common::parse_int64(item.substr(colon + 1), &attempt) ||
+        attempt < 1) {
+      std::fprintf(stderr,
+                   "pw_run: %s: expected \"id:attempt[,id:attempt...]\", "
+                   "got \"%s\"\n",
+                   env_name, raw);
+      return false;
+    }
+    out->insert({item.substr(0, colon), static_cast<int>(attempt)});
+    start = comma + 1;
+  }
+  return true;
+}
+
+/// Deterministic fault hooks for tests and the CI campaign-smoke job
+/// (documented in CAMPAIGNS.md): PW_CAMPAIGN_FAULT_KILL SIGKILLs the
+/// named (id, attempt) children pre-exec, PW_CAMPAIGN_FAULT_HANG makes
+/// them hang into the timeout, PW_CAMPAIGN_STOP_AFTER=N checkpoints the
+/// invocation after N dispatches (exit 3). No effect outside --campaign.
+bool parse_campaign_fault_env(campaign::CampaignFaults* faults) {
+  if (!parse_fault_env_list("PW_CAMPAIGN_FAULT_KILL", &faults->kill) ||
+      !parse_fault_env_list("PW_CAMPAIGN_FAULT_HANG", &faults->hang)) {
+    return false;
+  }
+  if (const char* raw = std::getenv("PW_CAMPAIGN_STOP_AFTER")) {
+    std::int64_t value = 0;
+    if (*raw != '\0') {
+      if (!common::parse_int64(raw, &value) || value < 1) {
+        std::fprintf(stderr, "pw_run: PW_CAMPAIGN_STOP_AFTER: expected a "
+                             "positive dispatch count, got \"%s\"\n",
+                     raw);
+        return false;
+      }
+      faults->stop_after = static_cast<int>(value);
+    }
+  }
+  return true;
 }
 
 void print_list() {
@@ -263,6 +331,69 @@ int pw_run_main(int argc, char** argv) {
     if (!is_reserved(flag.name)) forwarded.push_back(flag);
   }
 
+  if (const common::Flag* flag = parsed->find_flag("campaign")) {
+    if (!flag->value.has_value() || flag->value->empty()) {
+      std::fprintf(stderr, "pw_run: --campaign needs a manifest: "
+                           "--campaign=MANIFEST.json\n");
+      return 2;
+    }
+    if (!parsed->positionals.empty() || all || smoke ||
+        !forwarded.empty()) {
+      std::fprintf(stderr,
+                   "pw_run: --campaign takes no experiment name or "
+                   "per-experiment flags; jobs, seeds and parameters come "
+                   "from the manifest (see CAMPAIGNS.md)\n");
+      return 2;
+    }
+    campaign::CampaignDriverOptions opts;
+    opts.argv0 = argv[0];
+    opts.manifest_path = *flag->value;
+    if (const common::Flag* dir = parsed->find_flag("campaign-dir")) {
+      if (!dir->value.has_value() || dir->value->empty()) {
+        std::fprintf(stderr, "pw_run: --campaign-dir needs a directory: "
+                             "--campaign-dir=DIR\n");
+        return 2;
+      }
+      opts.dir = *dir->value;
+    } else {
+      // MANIFEST.json -> MANIFEST.campaign; anything else just appends.
+      opts.dir = opts.manifest_path;
+      const std::string suffix = ".json";
+      if (opts.dir.size() > suffix.size() &&
+          opts.dir.compare(opts.dir.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+        opts.dir.resize(opts.dir.size() - suffix.size());
+      }
+      opts.dir += ".campaign";
+    }
+    if (const common::Flag* procs = parsed->find_flag("procs")) {
+      std::int64_t value = 0;
+      if (!procs->value.has_value() ||
+          !common::parse_int64(*procs->value, &value) || value < 1 ||
+          value > 64) {
+        std::fprintf(stderr, "pw_run: --procs=P needs a process count in "
+                             "[1, 64]\n");
+        return 2;
+      }
+      opts.processes = static_cast<int>(value);
+    }
+    opts.json_arg = json_arg;
+    opts.metrics_arg = metrics_arg;
+    if (timeline_arg.has_value()) {
+      std::fprintf(stderr,
+                   "pw_run: note: --timeline is per-process wall time and "
+                   "is not reduced; ignoring it under --campaign\n");
+    }
+    if (!parse_campaign_fault_env(&opts.faults)) return 2;
+    return campaign::run_campaign_driver(opts);
+  }
+  if (parsed->find_flag("campaign-dir") != nullptr ||
+      parsed->find_flag("procs") != nullptr) {
+    std::fprintf(stderr,
+                 "pw_run: --campaign-dir and --procs only apply together "
+                 "with --campaign\n");
+    return 2;
+  }
   if (const common::Flag* flag = parsed->find_flag("city-reduce")) {
     if (!flag->value.has_value() || flag->value->empty()) {
       std::fprintf(stderr, "pw_run: --city-reduce needs a directory: "

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Campaign inspector/author (the Python face of `pw_run --campaign`).
+
+Subcommands:
+
+    init     author a canonical manifest from experiment specs
+    status   summarize a campaign directory's journal
+    resume   re-invoke `pw_run --campaign` over an existing directory
+    repair   truncate a torn results.jsonl tail after a writer crash
+
+`init` takes positional job specs `experiment[:key=value...]` and emits
+the byte-exact canonical manifest the C++ side would re-serialize:
+json.dumps(indent=2, sort_keys=True) matches the common::Json writer
+for the manifest's value types (ints, strings, bools), and the derived
+per-job sub-seeds use the same splitmix64(base_seed ^ fnv1a64(id))
+arithmetic as runtime/campaign/manifest.cpp (campaign_test pins a
+Python-authored golden against the C++ round-trip).
+
+    tools/pw_campaign.py init --campaign=nightly --suite-version=pr10 \
+        --seed=4242 --smoke quickstart wardriving:scale=0.01 > m.json
+    pw_run --campaign=m.json --procs=4 --json=nightly.json
+    tools/pw_campaign.py status m.campaign
+
+CAMPAIGNS.md documents the manifest schema and journal semantics.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_PW_RUN = REPO / "build" / "src" / "runtime" / "pw_run"
+
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(text):
+    h = 1469598103934665603
+    for byte in text.encode():
+        h = ((h ^ byte) * 1099511628211) & MASK64
+    return h
+
+
+def splitmix64(z):
+    z = (z + 0x9E3779B97F4A7C15) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)
+
+
+def derive_job_seed(base_seed, job_id):
+    """Mirrors campaign::derive_job_seed: masked into --seed's range."""
+    return splitmix64(base_seed ^ fnv1a64(job_id)) & 0x7FFFFFFFFFFFFFFF
+
+
+def cmd_init(args):
+    jobs = []
+    for index, spec in enumerate(args.jobs, start=1):
+        parts = spec.split(":")
+        experiment, params = parts[0], {}
+        for part in parts[1:]:
+            if "=" not in part:
+                sys.exit(f"pw_campaign: bad job spec {spec!r}: "
+                         f"expected experiment[:key=value...]")
+            key, value = part.split("=", 1)
+            params[key] = value
+        job_id = f"{index:03d}-{experiment}"
+        jobs.append({
+            "experiment": experiment,
+            "id": job_id,
+            "params": params,
+            "seed": derive_job_seed(args.seed, job_id),
+            "smoke": args.smoke,
+        })
+    manifest = {
+        "base_seed": args.seed,
+        "campaign": args.campaign,
+        "jobs": jobs,
+        "policy": {
+            "backoff_ms": args.backoff_ms,
+            "max_attempts": args.max_attempts,
+            "timeout_ms": args.timeout_ms,
+        },
+        "suite_version": args.suite_version,
+    }
+    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"manifest: {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def load_journal(campaign_dir):
+    """Returns (records, progress, torn_offset_or_None)."""
+    results = campaign_dir / "results.jsonl"
+    records, torn = [], None
+    if results.exists():
+        data = results.read_bytes()
+        offset = 0
+        for line in data.split(b"\n"):
+            end = offset + len(line)
+            if line:
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    if end >= len(data):  # no trailing newline: torn tail
+                        torn = offset
+                    else:
+                        sys.exit(f"pw_campaign: {results}: corrupt interior "
+                                 f"record at byte {offset}")
+            offset = end + 1
+    state = campaign_dir / "state.json"
+    progress = {}
+    if state.exists():
+        progress = json.loads(state.read_text()).get("jobs", {})
+    return records, progress, torn
+
+
+def cmd_status(args):
+    campaign_dir = pathlib.Path(args.dir)
+    manifest_path = campaign_dir / "manifest.json"
+    if not manifest_path.exists():
+        sys.exit(f"pw_campaign: {campaign_dir} is not a campaign directory "
+                 f"(no manifest.json)")
+    manifest = json.loads(manifest_path.read_text())
+    records, progress, torn = load_journal(campaign_dir)
+    completed = {record["id"] for record in records}
+    quarantined = sorted(job_id for job_id, entry in progress.items()
+                         if entry.get("status") == "quarantined")
+    total = len(manifest["jobs"])
+    retries = sum(max(0, entry.get("attempts", 0) - 1)
+                  for entry in progress.values())
+    print(f"campaign:    {manifest['campaign']} "
+          f"(suite {manifest['suite_version']})")
+    print(f"jobs:        {len(completed)}/{total} completed, "
+          f"{len(quarantined)} quarantined, {retries} retried attempts")
+    for job in manifest["jobs"]:
+        job_id = job["id"]
+        entry = progress.get(job_id, {})
+        if job_id in completed:
+            status = f"completed  {entry.get('digest', '?')}"
+        elif job_id in quarantined:
+            status = f"QUARANTINED (see {entry.get('log', 'logs/')})"
+        elif entry.get("attempts"):
+            status = f"pending after {entry['attempts']} attempt(s)"
+        else:
+            status = "pending"
+        print(f"  {job_id:24} {status}")
+    if torn is not None:
+        print(f"torn tail:   results.jsonl has a partial record at byte "
+              f"{torn}; run `tools/pw_campaign.py repair {campaign_dir}`")
+    return 1 if (quarantined or torn is not None) else 0
+
+
+def cmd_resume(args):
+    campaign_dir = pathlib.Path(args.dir)
+    manifest_path = campaign_dir / "manifest.json"
+    if not manifest_path.exists():
+        sys.exit(f"pw_campaign: {campaign_dir} is not a campaign directory "
+                 f"(no manifest.json)")
+    if not args.pw_run.exists():
+        sys.exit(f"pw_campaign: pw_run not found at {args.pw_run} "
+                 f"(build it first)")
+    cmd = [str(args.pw_run), f"--campaign={manifest_path}",
+           f"--campaign-dir={campaign_dir}", f"--procs={args.processes}"]
+    if args.json is not None:
+        cmd.append(f"--json={args.json}")
+    if args.metrics is not None:
+        cmd.append(f"--metrics={args.metrics}")
+    return subprocess.run(cmd).returncode
+
+
+def cmd_repair(args):
+    campaign_dir = pathlib.Path(args.dir)
+    results = campaign_dir / "results.jsonl"
+    if not results.exists():
+        sys.exit(f"pw_campaign: {results} does not exist")
+    _, _, torn = load_journal(campaign_dir)
+    if torn is None:
+        print("results.jsonl is clean; nothing to repair")
+        return 0
+    data = results.read_bytes()
+    results.write_bytes(data[:torn])
+    print(f"truncated torn tail: {len(data) - torn} bytes dropped at "
+          f"byte {torn} (the record was never durable; the job will "
+          f"re-run on resume)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="author a canonical manifest")
+    init.add_argument("--campaign", required=True,
+                      help="campaign name ([a-z0-9_.-]+)")
+    init.add_argument("--suite-version", required=True,
+                      help="version tag stamped into every artifact")
+    init.add_argument("--seed", type=int, default=0,
+                      help="base seed (default: %(default)s)")
+    init.add_argument("--smoke", action="store_true",
+                      help="mark every job as a smoke run")
+    init.add_argument("--max-attempts", type=int, default=3,
+                      help="retry budget per job (default: %(default)s)")
+    init.add_argument("--backoff-ms", type=int, default=100,
+                      help="base retry backoff (default: %(default)s)")
+    init.add_argument("--timeout-ms", type=int, default=0,
+                      help="per-attempt timeout, 0 = none "
+                           "(default: %(default)s)")
+    init.add_argument("--output", default=None,
+                      help="write the manifest here (default: stdout)")
+    init.add_argument("jobs", nargs="+",
+                      help="job specs: experiment[:key=value...]")
+    init.set_defaults(func=cmd_init)
+
+    status = sub.add_parser("status", help="summarize a campaign directory")
+    status.add_argument("dir", help="campaign directory")
+    status.set_defaults(func=cmd_status)
+
+    resume = sub.add_parser("resume",
+                            help="continue a campaign from its journal")
+    resume.add_argument("dir", help="campaign directory")
+    resume.add_argument("--pw-run", type=pathlib.Path,
+                        default=DEFAULT_PW_RUN,
+                        help="pw_run binary (default: %(default)s)")
+    resume.add_argument("--processes", type=int, default=4,
+                        help="worker pool width (default: %(default)s)")
+    resume.add_argument("--json", default=None,
+                        help="write the final campaign document here")
+    resume.add_argument("--metrics", default=None,
+                        help="children collect metrics; merged block "
+                             "written here")
+    resume.set_defaults(func=cmd_resume)
+
+    repair = sub.add_parser("repair",
+                            help="truncate a torn results.jsonl tail")
+    repair.add_argument("dir", help="campaign directory")
+    repair.set_defaults(func=cmd_repair)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
