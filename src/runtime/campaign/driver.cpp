@@ -53,6 +53,14 @@ bool write_file(const std::string& path, const std::string& text) {
   return std::fclose(f) == 0 && ok;
 }
 
+/// Temp-file-plus-rename, so a crash mid-write can never leave a
+/// truncated file at `path` (same discipline as write_campaign_state).
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  if (!write_file(tmp, text)) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 /// How one child attempt ended.
 enum class AttemptOutcome {
   kDocument,   // exited 0/1 and left a parseable document
@@ -209,13 +217,6 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
                  options.dir.c_str());
     return 1;
   }
-  // Keep a canonical manifest copy next to the journal it explains.
-  const std::string copy_path = options.dir + "/manifest.json";
-  if (!fs::exists(copy_path) && !write_file(copy_path, canonical_text)) {
-    std::fprintf(stderr, "pw_run: cannot write %s\n", copy_path.c_str());
-    return 1;
-  }
-
   DriverState state;
   {
     CampaignJournal journal;
@@ -226,6 +227,22 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
     }
     state.records = std::move(journal.completed);
     state.progress = std::move(journal.progress);
+  }
+
+  // Keep a canonical manifest copy next to the journal it explains —
+  // written atomically, and rewritten whenever the bytes on disk drift
+  // from the canonical text (a crash mid-write on an earlier run
+  // self-repairs here). Ordered after the journal load so a manifest
+  // that does not belong to this directory is refused above before it
+  // could clobber the copy.
+  const std::string copy_path = options.dir + "/manifest.json";
+  std::string existing_copy;
+  if (!read_file(copy_path, &existing_copy) ||
+      existing_copy != canonical_text) {
+    if (!write_file_atomic(copy_path, canonical_text)) {
+      std::fprintf(stderr, "pw_run: cannot write %s\n", copy_path.c_str());
+      return 1;
+    }
   }
 
   for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
@@ -252,12 +269,25 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
               total, already, state.queue.size(),
               std::max(1, options.processes));
 
+  // Rewrites the snapshot; call with state.mu held. A failure is
+  // printed once and latches io_failed, which stops every worker from
+  // claiming further jobs: a campaign that can no longer checkpoint
+  // must not keep spawning work it cannot journal.
+  const auto snapshot_state_locked = [&] {
+    if (!write_campaign_state(options.dir, manifest, manifest_digest,
+                              state.progress, &error)) {
+      std::fprintf(stderr, "pw_run: %s\n", error.c_str());
+      state.io_failed = true;
+    }
+  };
+
   const auto worker = [&] {
     for (;;) {
       std::size_t index = 0;
       int attempt = 0;
       {
         std::unique_lock<std::mutex> lock(state.mu);
+        if (state.io_failed) return;
         if (state.queue.empty()) {
           if (state.inflight == 0) return;
           lock.unlock();
@@ -278,9 +308,12 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
         attempt = static_cast<int>(++progress.attempts);
         progress.log = "logs/" + job.id + ".attempt" +
                        std::to_string(attempt) + ".log";
-        if (!write_campaign_state(options.dir, manifest, manifest_digest,
-                                  state.progress, &error)) {
-          state.io_failed = true;
+        snapshot_state_locked();
+        if (state.io_failed) {
+          // The claim itself could not be checkpointed: release it
+          // unstarted instead of running a job the journal will lose.
+          --state.inflight;
+          return;
         }
       }
       const CampaignJob& job = manifest.jobs[index];
@@ -355,10 +388,7 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
             fs::remove(doc_path + ".trace.json", cleanup);
           }
         }
-        if (!write_campaign_state(options.dir, manifest, manifest_digest,
-                                  state.progress, &error)) {
-          state.io_failed = true;
-        }
+        snapshot_state_locked();
         --state.inflight;
         if (state.io_failed) return;
         continue;
@@ -372,11 +402,9 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
             job.id + ": " + outcome_name(outcome) + " after " +
             std::to_string(progress.attempts) + " attempts; last log " +
             options.dir + "/" + *progress.log);
-        if (!write_campaign_state(options.dir, manifest, manifest_digest,
-                                  state.progress, &error)) {
-          state.io_failed = true;
-        }
+        snapshot_state_locked();
         --state.inflight;
+        if (state.io_failed) return;
         continue;
       }
       PW_COUNT(kCampaignJobsRetried);
@@ -386,9 +414,10 @@ int run_campaign_driver(const CampaignDriverOptions& options) {
           manifest.policy.backoff_ms
           << std::min<std::int64_t>(progress.attempts - 1, 10);
       progress.backoff_ms.push_back(delay);
-      if (!write_campaign_state(options.dir, manifest, manifest_digest,
-                                state.progress, &error)) {
-        state.io_failed = true;
+      snapshot_state_locked();
+      if (state.io_failed) {
+        --state.inflight;
+        return;
       }
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));

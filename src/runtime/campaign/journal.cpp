@@ -38,6 +38,25 @@ bool read_whole_file(const std::string& path, std::string* out,
   return true;
 }
 
+/// Presence + kind check in one step (manifest.cpp's require() with a
+/// dynamic context string): the Json accessors PW_CHECK on a kind
+/// mismatch, and a hand-corrupted journal must produce a named error,
+/// never an abort.
+const Json* require(const Json& object, const std::string& what,
+                    const char* key, Json::Kind kind, const char* kind_name,
+                    std::string* error) {
+  const Json* v = object.find(key);
+  if (v == nullptr) {
+    set_error(error, what + ": missing required key \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->kind() != kind) {
+    set_error(error, what + ": \"" + key + "\" must be a " + kind_name);
+    return nullptr;
+  }
+  return v;
+}
+
 /// Parses one results.jsonl record and cross-checks it against its
 /// manifest job. Strictness mirrors the manifest parser: these files
 /// are machine-written, so any surprise is corruption or drift.
@@ -45,12 +64,6 @@ bool parse_record(const Json& doc, const CampaignManifest& manifest,
                   JobRecord* out, std::string* error) {
   if (!doc.is_object()) {
     return set_error(error, "results.jsonl: record is not an object");
-  }
-  for (const char* key : {"digest", "document", "experiment", "id", "seed"}) {
-    if (doc.find(key) == nullptr) {
-      return set_error(error, std::string("results.jsonl: record missing "
-                                          "\"") + key + "\"");
-    }
   }
   for (const auto& [key, value] : doc.as_object()) {
     (void)value;
@@ -60,11 +73,28 @@ bool parse_record(const Json& doc, const CampaignManifest& manifest,
                                   key + "\"");
     }
   }
-  out->id = doc.find("id")->as_string();
-  out->experiment = doc.find("experiment")->as_string();
-  out->seed = doc.find("seed")->as_int();
-  out->digest = doc.find("digest")->as_string();
-  out->document = *doc.find("document");
+  const Json* id = require(doc, "results.jsonl: record", "id",
+                           Json::Kind::kString, "string", error);
+  if (id == nullptr) return false;
+  out->id = id->as_string();
+  const std::string what = "results.jsonl: record \"" + out->id + "\"";
+  const Json* experiment = require(doc, what, "experiment",
+                                   Json::Kind::kString, "string", error);
+  const Json* seed =
+      require(doc, what, "seed", Json::Kind::kInt, "integer", error);
+  const Json* digest =
+      require(doc, what, "digest", Json::Kind::kString, "string", error);
+  if (experiment == nullptr || seed == nullptr || digest == nullptr) {
+    return false;
+  }
+  const Json* document = doc.find("document");
+  if (document == nullptr) {
+    return set_error(error, what + ": missing required key \"document\"");
+  }
+  out->experiment = experiment->as_string();
+  out->seed = seed->as_int();
+  out->digest = digest->as_string();
+  out->document = *document;
 
   const CampaignJob* job = nullptr;
   for (const CampaignJob& candidate : manifest.jobs) {
@@ -99,31 +129,52 @@ bool parse_record(const Json& doc, const CampaignManifest& manifest,
 
 bool parse_progress_entry(const Json& doc, const std::string& id,
                           JobProgress* out, std::string* error) {
+  const std::string what = "state.json: job \"" + id + "\"";
   if (!doc.is_object()) {
-    return set_error(error, "state.json: jobs entry \"" + id +
-                                "\" is not an object");
+    return set_error(error, what + " is not an object");
   }
+  const auto wrong_kind = [&](const char* key, const char* kind_name) {
+    return set_error(error,
+                     what + ": \"" + key + "\" must be a " + kind_name);
+  };
   for (const auto& [key, value] : doc.as_object()) {
     if (key == "attempts") {
+      if (value.kind() != Json::Kind::kInt) {
+        return wrong_kind("attempts", "integer");
+      }
       out->attempts = value.as_int();
     } else if (key == "backoff_ms") {
+      if (value.kind() != Json::Kind::kArray) {
+        return wrong_kind("backoff_ms", "array of integers");
+      }
       for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value.at(i).kind() != Json::Kind::kInt) {
+          return wrong_kind("backoff_ms", "array of integers");
+        }
         out->backoff_ms.push_back(value.at(i).as_int());
       }
     } else if (key == "digest") {
+      if (value.kind() != Json::Kind::kString) {
+        return wrong_kind("digest", "string");
+      }
       out->digest = value.as_string();
     } else if (key == "status") {
+      if (value.kind() != Json::Kind::kString) {
+        return wrong_kind("status", "string");
+      }
       out->status = value.as_string();
       if (*out->status != "completed" && *out->status != "quarantined") {
-        return set_error(error, "state.json: job \"" + id +
-                                    "\" has unknown status \"" +
+        return set_error(error, what + " has unknown status \"" +
                                     *out->status + "\"");
       }
     } else if (key == "log") {
+      if (value.kind() != Json::Kind::kString) {
+        return wrong_kind("log", "string");
+      }
       out->log = value.as_string();
     } else {
-      return set_error(error, "state.json: job \"" + id +
-                                  "\" carries unknown key \"" + key + "\"");
+      return set_error(error,
+                       what + " carries unknown key \"" + key + "\"");
     }
   }
   return true;
@@ -141,32 +192,37 @@ bool load_state(const std::string& path, const CampaignManifest& manifest,
                                 (doc.has_value() ? "not an object"
                                                  : parse_error));
   }
-  for (const char* key : {"campaign", "jobs", "manifest_digest",
-                          "schema_version", "suite_version"}) {
-    if (doc->find(key) == nullptr) {
-      return set_error(error,
-                       path + ": missing \"" + key + "\": corrupt snapshot");
-    }
+  const Json* schema_version = require(*doc, path, "schema_version",
+                                       Json::Kind::kInt, "integer", error);
+  const Json* campaign = require(*doc, path, "campaign", Json::Kind::kString,
+                                 "string", error);
+  const Json* suite = require(*doc, path, "suite_version",
+                              Json::Kind::kString, "string", error);
+  const Json* digest = require(*doc, path, "manifest_digest",
+                               Json::Kind::kString, "string", error);
+  const Json* jobs =
+      require(*doc, path, "jobs", Json::Kind::kObject, "object", error);
+  if (schema_version == nullptr || campaign == nullptr || suite == nullptr ||
+      digest == nullptr || jobs == nullptr) {
+    return false;
   }
-  if (doc->find("schema_version")->as_int() != 1) {
+  if (schema_version->as_int() != 1) {
     return set_error(error, path + ": unsupported schema_version");
   }
-  if (doc->find("campaign")->as_string() != manifest.campaign ||
-      doc->find("suite_version")->as_string() != manifest.suite_version) {
+  if (campaign->as_string() != manifest.campaign ||
+      suite->as_string() != manifest.suite_version) {
     return set_error(error, path + ": journal belongs to campaign \"" +
-                                doc->find("campaign")->as_string() +
-                                "\" suite \"" +
-                                doc->find("suite_version")->as_string() +
+                                campaign->as_string() + "\" suite \"" +
+                                suite->as_string() +
                                 "\", not this manifest");
   }
-  if (doc->find("manifest_digest")->as_string() != manifest_digest) {
+  if (digest->as_string() != manifest_digest) {
     return set_error(error, path + ": journal was written by a manifest "
-                                "with digest " +
-                                doc->find("manifest_digest")->as_string() +
+                                "with digest " + digest->as_string() +
                                 ", this one is " + manifest_digest +
                                 ": refusing to mix campaigns");
   }
-  for (const auto& [id, entry] : doc->find("jobs")->as_object()) {
+  for (const auto& [id, entry] : jobs->as_object()) {
     bool known = false;
     for (const CampaignJob& job : manifest.jobs) known |= job.id == id;
     if (!known) {
@@ -244,22 +300,24 @@ bool load_campaign_journal(const std::string& dir,
                                 "half-deleted");
   }
 
-  // Cross-file coherence: a completed record must be visible in the
-  // snapshot with the same digest (state.json is written *after* the
-  // append, so the reverse — snapshot says completed, record missing —
-  // is also corruption).
+  // Cross-file coherence. The driver appends to results.jsonl first and
+  // rewrites state.json second, so a record journaled but not yet
+  // marked completed in the snapshot is exactly the crash window
+  // between those two non-atomic writes (driver SIGKILLed/OOMed in
+  // between) — recoverable, not corruption: the record's self-digest
+  // was already re-proven above, so the snapshot entry is patched from
+  // the journal and the next state rewrite persists the repair.
   for (const auto& [id, record] : out->completed) {
-    const auto it = out->progress.find(id);
-    if (it == out->progress.end() || !it->second.status.has_value() ||
-        *it->second.status != "completed") {
-      return set_error(error, state + ": \"" + id + "\" is journaled in "
-                                  "results.jsonl but not marked completed");
-    }
-    if (!it->second.digest.has_value() || *it->second.digest != record.digest) {
-      return set_error(error, state + ": digest for \"" + id +
-                                  "\" disagrees with results.jsonl");
+    JobProgress& progress = out->progress[id];
+    if (!progress.status.has_value() || *progress.status != "completed" ||
+        !progress.digest.has_value() || *progress.digest != record.digest) {
+      progress.status = "completed";
+      progress.digest = record.digest;
+      if (progress.attempts < 1) progress.attempts = 1;
     }
   }
+  // The reverse — snapshot says completed, record missing — cannot
+  // arise from that write order and stays a hard error.
   for (const auto& [id, progress] : out->progress) {
     if (progress.status.has_value() && *progress.status == "completed" &&
         out->completed.find(id) == out->completed.end()) {

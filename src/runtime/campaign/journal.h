@@ -15,11 +15,17 @@
 //                    explicitly *excluded* from byte-identity guarantees.
 //
 // Loading validates hard: duplicate ids, ids missing from the manifest,
-// seed/experiment drift, digests that do not match the recorded document
-// and manifests that do not match the digest stamped into state.json are
-// all errors with the offending id named. A torn results.jsonl tail
-// (writer died mid-append) refuses resume and points at
-// `tools/pw_campaign.py repair`.
+// seed/experiment drift, digests that do not match the recorded document,
+// fields of the wrong JSON kind and manifests that do not match the
+// digest stamped into state.json are all errors with the offending id
+// named. A torn results.jsonl tail (writer died mid-append) refuses
+// resume and points at `tools/pw_campaign.py repair`. One asymmetric
+// carve-out: a record journaled in results.jsonl but not yet marked
+// completed in state.json is the crash window between the append and
+// the snapshot rewrite, so the loader patches the snapshot entry from
+// the (digest-verified) record instead of refusing; the reverse —
+// snapshot says completed, record missing — cannot arise from that
+// write order and stays a hard error.
 #pragma once
 
 #include <cstdint>

@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -363,6 +365,89 @@ TEST(CampaignJournalTest, RefusesAJournalFromADifferentManifest) {
   EXPECT_NE(error.find("refusing to mix"), std::string::npos) << error;
 }
 
+TEST(CampaignJournalTest, RecoversASnapshotLaggingTheJournal) {
+  // The crash window: append_job_record succeeded, the driver died
+  // before the state.json rewrite. The stale snapshot (job still
+  // mid-attempt) must not refuse resume — the loader patches the entry
+  // from the digest-verified record.
+  JournalFixture fixture;
+  const JobRecord record = fixture.record_for(fixture.manifest.jobs[0]);
+  std::string error;
+  ASSERT_TRUE(append_job_record(fixture.root, record, &error)) << error;
+  std::map<std::string, JobProgress> progress;
+  progress[record.id].attempts = 1;  // claimed, never marked completed
+  ASSERT_TRUE(write_campaign_state(fixture.root, fixture.manifest,
+                                   fixture.digest, progress, &error))
+      << error;
+  CampaignJournal journal;
+  ASSERT_TRUE(load_campaign_journal(fixture.root, fixture.manifest,
+                                    fixture.digest, &journal, &error))
+      << error;
+  EXPECT_EQ(journal.completed.count(record.id), 1u);
+  const JobProgress& patched = journal.progress.at(record.id);
+  EXPECT_EQ(patched.status.value_or(""), "completed");
+  EXPECT_EQ(patched.digest.value_or(""), record.digest);
+  EXPECT_GE(patched.attempts, 1);
+}
+
+TEST(CampaignJournalTest, RejectsSnapshotCompletionWithoutARecord) {
+  // The reverse direction cannot arise from the append-then-snapshot
+  // write order, so it stays a hard error.
+  JournalFixture fixture;
+  const JobRecord record = fixture.record_for(fixture.manifest.jobs[0]);
+  std::string error;
+  std::map<std::string, JobProgress> progress;
+  JobProgress& entry = progress[record.id];
+  entry.attempts = 1;
+  entry.status = "completed";
+  entry.digest = record.digest;
+  ASSERT_TRUE(write_campaign_state(fixture.root, fixture.manifest,
+                                   fixture.digest, progress, &error))
+      << error;
+  CampaignJournal journal;
+  EXPECT_FALSE(load_campaign_journal(fixture.root, fixture.manifest,
+                                     fixture.digest, &journal, &error));
+  EXPECT_NE(error.find("no record"), std::string::npos) << error;
+}
+
+TEST(CampaignJournalTest, WrongKindRecordFieldIsANamedError) {
+  // A hand-corrupted journal whose field has the wrong JSON kind must
+  // produce a named error, never a PW_CHECK abort from an accessor.
+  JournalFixture fixture;
+  write_text(results_path(fixture.root),
+             "{\"digest\":\"crc32:00000000\",\"document\":{},"
+             "\"experiment\":\"quickstart\",\"id\":\"a-quickstart\","
+             "\"seed\":\"nope\"}\n");
+  CampaignJournal journal;
+  std::string error;
+  EXPECT_FALSE(load_campaign_journal(fixture.root, fixture.manifest,
+                                     fixture.digest, &journal, &error));
+  EXPECT_NE(error.find("a-quickstart"), std::string::npos) << error;
+  EXPECT_NE(error.find("\"seed\""), std::string::npos) << error;
+}
+
+TEST(CampaignJournalTest, WrongKindStateFieldIsANamedError) {
+  JournalFixture fixture;
+  std::string error;
+  std::map<std::string, JobProgress> progress;
+  progress["a-quickstart"].attempts = 1;
+  ASSERT_TRUE(write_campaign_state(fixture.root, fixture.manifest,
+                                   fixture.digest, progress, &error))
+      << error;
+  const std::string state_file = state_path(fixture.root);
+  std::string text = read_text(state_file);
+  const std::string from = "\"attempts\": 1";
+  const std::size_t pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos) << text;
+  write_text(state_file,
+             text.replace(pos, from.size(), "\"attempts\": \"1\""));
+  CampaignJournal journal;
+  EXPECT_FALSE(load_campaign_journal(fixture.root, fixture.manifest,
+                                     fixture.digest, &journal, &error));
+  EXPECT_NE(error.find("a-quickstart"), std::string::npos) << error;
+  EXPECT_NE(error.find("\"attempts\""), std::string::npos) << error;
+}
+
 TEST(CampaignJournalTest, RefusesResumeOverATornTail) {
   JournalFixture fixture;
   fixture.commit(fixture.record_for(fixture.manifest.jobs[0]));
@@ -447,6 +532,69 @@ TEST(CampaignDriverTest, CheckpointResumeIsByteIdentical) {
     EXPECT_EQ(code, 0) << "procs=" << procs;
     EXPECT_EQ(doc, straight_doc) << "procs=" << procs;
   }
+}
+
+TEST(CampaignDriverTest, ResumeRecoversWhenTheDriverDiedBeforeTheSnapshot) {
+  // Emulates a SIGKILL landing between the results.jsonl append and the
+  // state.json rewrite: one record journaled, snapshot rolled back to
+  // "nothing ever completed". Resume must finish byte-identical, not
+  // refuse the directory as corrupt.
+  const std::string root = make_temp_dir();
+  write_text(root + "/straight.json", test_manifest_text());
+  auto [straight_code, straight_doc] =
+      run_campaign(driver_options(root, "straight", 1));
+  ASSERT_EQ(straight_code, 0);
+  write_text(root + "/lag.json", test_manifest_text());
+  CampaignDriverOptions options = driver_options(root, "lag", 1);
+  options.faults.stop_after = 1;
+  ASSERT_EQ(run_campaign_driver(options), 3);
+  std::string error;
+  auto manifest = parse_campaign_manifest_text(test_manifest_text(), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  const std::string digest =
+      campaign_digest(manifest->to_json().dump() + "\n");
+  const std::map<std::string, JobProgress> empty;
+  ASSERT_TRUE(
+      write_campaign_state(options.dir, *manifest, digest, empty, &error))
+      << error;
+  options.faults.stop_after = 0;
+  auto [code, doc] = run_campaign(options);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(doc, straight_doc);
+}
+
+TEST(CampaignDriverTest, RepairsATruncatedManifestCopy) {
+  // Plain-write crash damage from an earlier run: the canonical copy is
+  // rewritten atomically on the next invocation instead of being
+  // trusted forever because it exists.
+  const std::string root = make_temp_dir();
+  write_text(root + "/copy.json", test_manifest_text());
+  CampaignDriverOptions options = driver_options(root, "copy", 1);
+  options.faults.stop_after = 1;
+  ASSERT_EQ(run_campaign_driver(options), 3);
+  const std::string copy = options.dir + "/manifest.json";
+  const std::string canonical = read_text(copy);
+  ASSERT_FALSE(canonical.empty());
+  write_text(copy, canonical.substr(0, canonical.size() / 2));
+  options.faults.stop_after = 0;
+  auto [code, doc] = run_campaign(options);
+  EXPECT_EQ(code, 0);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(read_text(copy), canonical);
+}
+
+TEST(CampaignDriverTest, StopsClaimingWorkWhenTheJournalCannotBeWritten) {
+  const std::string root = make_temp_dir();
+  write_text(root + "/io.json", test_manifest_text());
+  CampaignDriverOptions options = driver_options(root, "io", 2);
+  // A directory squatting on state.json's temp path makes every
+  // snapshot rewrite fail. The driver must abort without spawning a
+  // single job rather than run work it can never checkpoint.
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir + "/state.json.tmp", ec);
+  ASSERT_FALSE(ec);
+  EXPECT_EQ(run_campaign_driver(options), 1);
+  EXPECT_FALSE(std::filesystem::exists(results_path(options.dir)));
 }
 
 TEST(CampaignDriverTest, ExhaustedRetriesQuarantineAndResumeRecovers) {
